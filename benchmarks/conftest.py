@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark harness.
+
+Compiling an application through the ILP takes seconds; every figure
+needs the same three compilations, so they are cached per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_aes_app, build_kasumi_app, build_nat_app
+from repro.compiler import CompileOptions, compile_nova
+
+APP_BUILDERS = {
+    "AES": build_aes_app,
+    "Kasumi": build_kasumi_app,
+    "NAT": build_nat_app,
+}
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_aware(benchmark):
+    """Make every test in benchmarks/ run under ``--benchmark-only``.
+
+    pytest-benchmark skips tests that do not have its fixture in their
+    closure; the table tests ARE the paper's figures, so declare the
+    dependency for every test in this directory (tests that measure use
+    the fixture explicitly; the rest just render their table).
+    """
+    yield
+
+
+def compile_app(name: str, **compile_kwargs):
+    app = APP_BUILDERS[name]()
+    options = CompileOptions()
+    options.alloc.solve.time_limit = 900
+    for key, value in compile_kwargs.items():
+        setattr(options, key, value)
+    return app, compile_nova(app.source, options=options)
+
+
+@pytest.fixture(scope="session")
+def compiled_apps():
+    """name → (AppBundle, Compilation with ILP allocation)."""
+    return {name: compile_app(name) for name in APP_BUILDERS}
+
+
+@pytest.fixture(scope="session")
+def virtual_apps():
+    """name → (AppBundle, Compilation without allocation) — fast."""
+    out = {}
+    for name, build in APP_BUILDERS.items():
+        app = build()
+        options = CompileOptions()
+        options.run_allocator = False
+        out[name] = (app, compile_nova(app.source, options=options))
+    return out
+
+
+#: Tables rendered during the session, replayed in the terminal summary
+#: (so they survive pytest's output capture without needing ``-s``).
+_RENDERED_TABLES: list[str] = []
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one of the paper's tables to the benchmark output."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [f"\n== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print(text)
+    _RENDERED_TABLES.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RENDERED_TABLES:
+        return
+    terminalreporter.section("paper tables (reproduction)")
+    for text in _RENDERED_TABLES:
+        terminalreporter.write_line(text)

@@ -1,0 +1,10 @@
+"""Shim so that editable installs work without the `wheel` package.
+
+`pip install -e . --no-build-isolation` on this machine lacks
+`bdist_wheel`; `python setup.py develop` (or pip's legacy editable path
+via this file) installs a .pth link instead.
+"""
+
+from setuptools import setup
+
+setup()

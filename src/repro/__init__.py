@@ -1,0 +1,39 @@
+"""Reproduction of "Taming the IXP Network Processor" (PLDI 2003).
+
+This package implements the Nova programming language and its compiler:
+a CPS-based front end, a static-single-use transform, and an ILP-based
+back end that solves register-bank assignment, transfer-register coloring
+of aggregates, inter-bank move placement and spilling as one 0-1 integer
+linear program targeting the Intel IXP1200 micro-engine (which we also
+model, together with its memories, as a cycle-approximate simulator).
+
+Public API
+----------
+- :func:`compile_nova` — compile Nova source text end-to-end.
+- :class:`repro.compiler.Compiler` — the staged driver with per-phase
+  artifacts and statistics.
+- :mod:`repro.nova` — language front end (lexer/parser/types/layouts).
+- :mod:`repro.cps` — CPS intermediate representation and optimizer.
+- :mod:`repro.ixp` — IXP1200 instruction set, flowgraph and simulator.
+- :mod:`repro.ilp` — the AMPL-substitute ILP modeling layer and solvers.
+- :mod:`repro.alloc` — the paper's allocator (Sections 5-10) plus the
+  heuristic baseline and the constant-rematerialization extension.
+- :mod:`repro.apps` — the three benchmark applications (AES, Kasumi, NAT).
+
+The heavyweight driver is imported lazily so that individual subsystems
+(e.g. the parser alone) can be used without pulling in scipy.
+"""
+
+from typing import Any
+
+__all__ = ["Compiler", "CompileOptions", "compile_nova"]
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        from repro import compiler
+
+        return getattr(compiler, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

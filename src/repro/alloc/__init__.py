@@ -1,0 +1,16 @@
+"""The paper's register allocator (Sections 5-10) and companions.
+
+- :mod:`repro.alloc.liveness` — Exists/Copy set construction (§5.2),
+- :mod:`repro.alloc.frequency` — static frequency estimation (§7),
+- :mod:`repro.alloc.pruning` — the §8 variable-count reduction,
+- :mod:`repro.alloc.ilpmodel` — the ILP model (§5, §6, §9, §10),
+- :mod:`repro.alloc.decode` — ILP solution → physical flowgraph,
+- :mod:`repro.alloc.abcolor` — A/B graph coloring with coalescing (§9),
+- :mod:`repro.alloc.verify` — independent legality checker,
+- :mod:`repro.alloc.baseline` — heuristic comparator allocator,
+- :mod:`repro.alloc.remat` — the §12 constant-rematerialization extension.
+"""
+
+from repro.alloc.allocator import AllocOptions, AllocResult, allocate
+
+__all__ = ["AllocOptions", "AllocResult", "allocate"]

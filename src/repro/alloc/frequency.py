@@ -1,0 +1,219 @@
+"""Static execution-frequency estimation (paper Section 7).
+
+"For each point we compute a static frequency estimation based on loop
+nesting and branch probabilities using the Dempster-Shafer theory to
+combine probabilities.  (Our own variation of the Wu-Larus frequency
+estimation can cope with irreducible flowgraphs.)"
+
+We implement branch-prediction heuristics in the style of Ball-Larus /
+Wu-Larus, combined with Dempster-Shafer evidence combination, and obtain
+block frequencies by fixpoint propagation — which converges on arbitrary
+(including irreducible) flowgraphs because every cycle's probability
+product is bounded below 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ixp import isa
+from repro.ixp.flowgraph import FlowGraph
+
+#: Probability that a loop back edge is taken (Wu-Larus LBH: 88%).
+LOOP_BRANCH_PROB = 0.88
+#: Probability that a pointer/equality guard fails (Wu-Larus OH: 84% for
+#: `ne`, i.e. comparisons against a constant are usually unequal).
+OPCODE_EQ_PROB = 0.16
+#: Iterations of the frequency fixpoint.
+MAX_ITERATIONS = 200
+
+
+def dempster_shafer(p1: float, p2: float) -> float:
+    """Combine two probability estimates for the same event (Section 7).
+
+    This is the two-hypothesis Dempster-Shafer combination rule used by
+    Wu and Larus to merge independent branch heuristics.
+    """
+    denominator = p1 * p2 + (1.0 - p1) * (1.0 - p2)
+    if denominator == 0.0:
+        return 0.5
+    return p1 * p2 / denominator
+
+
+def _back_edges(graph: FlowGraph) -> set[tuple[str, str]]:
+    """Edges (u, v) where v is an ancestor of u in the DFS tree."""
+    color: dict[str, int] = {}
+    back: set[tuple[str, str]] = set()
+
+    def dfs(root: str) -> None:
+        stack: list[tuple[str, iter]] = [(root, iter(graph.blocks[root].successors()))]
+        color[root] = 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if color.get(succ, 0) == 0:
+                    color[succ] = 1
+                    stack.append((succ, iter(graph.blocks[succ].successors())))
+                    advanced = True
+                    break
+                if color.get(succ) == 1:
+                    back.add((node, succ))
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+
+    dfs(graph.entry)
+    for label in graph.blocks:
+        if color.get(label, 0) == 0:
+            dfs(label)
+    return back
+
+
+def _scc_ids(graph: FlowGraph) -> dict[str, int]:
+    """Strongly connected component id per block (iterative Tarjan)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    component: dict[str, int] = {}
+    counter = [0]
+    comp_id = [0]
+
+    def connect(root: str) -> None:
+        work = [(root, iter(graph.blocks[root].successors()))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.blocks[succ].successors())))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_id[0]
+                    if member == node:
+                        break
+                comp_id[0] += 1
+
+    for label in graph.blocks:
+        if label not in index:
+            connect(label)
+    return component
+
+
+def branch_probabilities(graph: FlowGraph) -> dict[tuple[str, str], float]:
+    """Taken-probability for each CFG edge."""
+    back = _back_edges(graph)
+    scc = _scc_ids(graph)
+    scc_sizes: dict[int, int] = {}
+    for cid in scc.values():
+        scc_sizes[cid] = scc_sizes.get(cid, 0) + 1
+
+    def stays_in_loop(src: str, dst: str) -> bool:
+        # The edge continues a loop if both ends are in one non-trivial
+        # SCC (the branch can eventually be reached again).
+        if scc[src] != scc[dst]:
+            return False
+        if scc_sizes[scc[src]] > 1:
+            return True
+        return src == dst  # self loop
+
+    probs: dict[tuple[str, str], float] = {}
+    for label, block in graph.blocks.items():
+        succs = block.successors()
+        if len(succs) <= 1:
+            for succ in succs:
+                probs[(label, succ)] = 1.0
+            continue
+        then_t, else_t = succs
+        # Collect heuristic evidence for "then edge taken".
+        estimates: list[float] = []
+        then_back = (label, then_t) in back or stays_in_loop(label, then_t)
+        else_back = (label, else_t) in back or stays_in_loop(label, else_t)
+        if then_back and not else_back:
+            estimates.append(LOOP_BRANCH_PROB)
+        elif else_back and not then_back:
+            estimates.append(1.0 - LOOP_BRANCH_PROB)
+        term = block.terminator
+        if isinstance(term, isa.BrCmp) and isinstance(term.b, isa.Imm):
+            if term.cmp == "eq":
+                estimates.append(OPCODE_EQ_PROB)
+            elif term.cmp == "ne":
+                estimates.append(1.0 - OPCODE_EQ_PROB)
+        p = 0.5
+        for estimate in estimates:
+            p = dempster_shafer(p, estimate) if p != 0.5 else estimate
+        p = min(max(p, 0.01), 0.99)
+        probs[(label, then_t)] = p
+        probs[(label, else_t)] = 1.0 - p
+    return probs
+
+
+def block_frequencies(graph: FlowGraph) -> dict[str, float]:
+    """Expected executions of each block per program run."""
+    probs = branch_probabilities(graph)
+    order = graph.block_order()
+    preds: dict[str, list[str]] = {label: [] for label in graph.blocks}
+    for label, block in graph.blocks.items():
+        for succ in block.successors():
+            preds[succ].append(label)
+    freq = {label: 0.0 for label in graph.blocks}
+    freq[graph.entry] = 1.0
+    for _ in range(MAX_ITERATIONS):
+        delta = 0.0
+        for label in order:
+            if label == graph.entry:
+                value = 1.0
+            else:
+                value = 0.0
+            for pred in preds[label]:
+                value += freq[pred] * probs.get((pred, label), 0.0)
+            if label == graph.entry:
+                pass
+            delta = max(delta, abs(value - freq[label]))
+            freq[label] = value
+        if delta < 1e-9:
+            break
+    return freq
+
+
+@dataclass
+class PointWeights:
+    """weight{P} of the objective function: per-point frequencies."""
+
+    weights: dict[int, float]
+
+    def __getitem__(self, point: int) -> float:
+        return self.weights.get(point, 1.0)
+
+
+def point_weights(graph: FlowGraph) -> PointWeights:
+    freq = block_frequencies(graph)
+    points = graph.points()
+    weights: dict[int, float] = {}
+    for label, block in graph.blocks.items():
+        f = max(freq[label], 1e-6)
+        for index in range(len(block.instrs)):
+            weights[points.before(label, index)] = f
+        weights[points.exit(label)] = f
+    return PointWeights(weights)

@@ -1,0 +1,118 @@
+"""Constant rematerialization — the paper's Section 12 extension.
+
+"We treat every individual constant as a temporary and invent a virtual
+register bank C.  C has unlimited capacity and can hold constants (but
+nothing else).  A move to C represents the operation of discarding a
+constant from a physical register; it has zero cost.  A move from C
+represents the load operation of the corresponding constant; its cost
+depends on the value of the constant."
+
+(The paper had the AMPL model for this but "did not find the time to
+complete the rest of the compiler infrastructure"; here the loop is
+closed.)
+
+Mechanics:
+
+1. :func:`lift_constants` rewrites a selected flowgraph: ``immed``
+   instructions whose value is shared (or loop-resident) are deleted and
+   their uses renamed to one canonical *constant temporary* per value,
+   recorded in ``graph.const_temps``.  Constants feeding memory-write
+   aggregates or the hash unit keep their private ``immed`` (their
+   registers are position-constrained).
+2. The ILP model (``ModelOptions.remat_constants``) gives constant
+   temporaries the candidate banks {C, A, B}; they start in C at the
+   program entry; C→A/B moves cost the ``immed`` latency for the value
+   (1 for 16-bit constants, 2 otherwise), moves into C are free, and C
+   occupies no register, so the solver decides where loading pays off.
+3. Decode turns C→bank moves back into ``immed`` instructions and drops
+   moves into C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ixp import isa
+from repro.ixp.flowgraph import Block, FlowGraph
+
+
+def immed_cost(value: int) -> int:
+    """Instruction count of loading ``value`` (paper: 1 or 2)."""
+    return 1 if 0 <= value < (1 << 16) else 2
+
+
+@dataclass
+class RematStats:
+    constants_lifted: int = 0
+    immeds_removed: int = 0
+    immeds_kept: int = 0
+
+
+def lift_constants(graph: FlowGraph) -> tuple[FlowGraph, RematStats]:
+    """Canonicalize immed-defined constants into C-bank temporaries.
+
+    Returns a new graph whose ``const_temps`` attribute maps the
+    canonical temporary names to their values.
+    """
+    stats = RematStats()
+
+    # Temps whose registers are position-constrained must keep private
+    # definitions (aggregate members, hash operands).
+    pinned: set[str] = set()
+    for _, _, instr in graph.instructions():
+        if isinstance(instr, isa.MemOp):
+            for reg in instr.regs:
+                if isinstance(reg, isa.Temp):
+                    pinned.add(reg.name)
+        elif isinstance(instr, isa.HashInstr):
+            for reg in (instr.src, instr.dst):
+                if isinstance(reg, isa.Temp):
+                    pinned.add(reg.name)
+
+    # A temp can be canonicalized only if immed is its sole definition.
+    def_count: dict[str, int] = {}
+    for _, _, instr in graph.instructions():
+        for reg in instr.defs():
+            if isinstance(reg, isa.Temp):
+                def_count[reg.name] = def_count.get(reg.name, 0) + 1
+
+    rename: dict[str, str] = {}
+    const_temps: dict[str, int] = {}
+    new_blocks: dict[str, Block] = {}
+    for label, block in graph.blocks.items():
+        instrs: list[isa.Instr] = []
+        for instr in block.instrs:
+            if (
+                isinstance(instr, isa.Immed)
+                and isinstance(instr.dst, isa.Temp)
+                and instr.dst.name not in pinned
+                and def_count.get(instr.dst.name, 0) == 1
+            ):
+                canonical = f"const.{instr.value:#x}"
+                if canonical not in const_temps:
+                    const_temps[canonical] = instr.value
+                    stats.constants_lifted += 1
+                rename[instr.dst.name] = canonical
+                stats.immeds_removed += 1
+                continue
+            if isinstance(instr, isa.Immed):
+                stats.immeds_kept += 1
+            instrs.append(instr)
+        new_blocks[label] = Block(label, instrs)
+
+    def map_reg(reg):
+        if isinstance(reg, isa.Temp) and reg.name in rename:
+            return isa.Temp(rename[reg.name])
+        return reg
+
+    for block in new_blocks.values():
+        block.instrs = [instr.map_regs(map_reg) for instr in block.instrs]
+
+    lifted = FlowGraph(graph.entry, new_blocks, graph.inputs)
+    lifted.const_temps = const_temps  # type: ignore[attr-defined]
+    lifted.validate()
+    return lifted, stats
+
+
+def const_temps_of(graph: FlowGraph) -> dict[str, int]:
+    return getattr(graph, "const_temps", {})

@@ -1,0 +1,18 @@
+"""The paper's three benchmark applications (Section 11).
+
+- AES Rijndael encryption (NIST FIPS-197), T-table formulation,
+- Kasumi (3GPP TS 35.202), the ETSI 3GPP confidentiality cipher,
+- IPv6 → IPv4 network address translation.
+
+Each application exists twice: a pure-Python reference implementation
+(:mod:`repro.apps.refimpl`) validated against published test vectors,
+and a Nova program (``*_nova`` modules) compiled by this repository's
+compiler and executed on the IXP simulator — the Nova output is checked
+word-for-word against the reference.
+"""
+
+from repro.apps.aes_nova import build_aes_app
+from repro.apps.kasumi_nova import build_kasumi_app
+from repro.apps.nat_nova import build_nat_app
+
+__all__ = ["build_aes_app", "build_kasumi_app", "build_nat_app"]

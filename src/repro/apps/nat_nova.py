@@ -1,0 +1,138 @@
+"""IPv6 → IPv4 NAT in Nova (paper Section 11, third benchmark).
+
+The fast path: read the 40-byte IPv6 header from SDRAM, unpack it
+through layouts (including an overlay over version/traffic-class), map
+both 128-bit addresses to IPv4 addresses via a direct-mapped SRAM table
+indexed by the hardware hash unit, build the 20-byte IPv4 header with
+``pack``, compute the RFC 1071 header checksum, and write the header to
+the new packet start — which moved by 20 bytes, so the write is split to
+respect SDRAM's 8-byte alignment ("Because of the different header
+sizes, the start of the packet must be moved to a new location and care
+is required in updating the new checksum field").
+"""
+
+from __future__ import annotations
+
+from repro.apps.aes_nova import AppBundle
+from repro.apps.refimpl import nat
+
+#: SRAM word address of the 256-entry direct-mapped translation table.
+NAT_TABLE_BASE = 0x3000
+
+NAT_NOVA_SOURCE = f"""
+// IPv6 -> IPv4 network address translation (fast path).
+
+layout ipv6_address = {{ a1 : 32, a2 : 32, a3 : 32, a4 : 32 }};
+
+layout ipv6_header = {{
+  vertc : overlay {{ whole : 12
+                   | parts : {{ version : 4, tclass : 8 }} }},
+  flow_label : 20,
+  payload_length : 16, next_header : 8, hop_limit : 8,
+  src_address : ipv6_address, dst_address : ipv6_address
+}};
+
+layout ipv4_header = {{
+  version : 4, ihl : 4, tos : 8, total_length : 16,
+  ident : 16, flags_frag : 16,
+  ttl : 8, protocol : 8, checksum : 16,
+  src : 32, dst : 32
+}};
+
+// Direct-mapped translation-cache lookup via the hash unit.
+fun map_address (a1, a2, a3, a4) : word {{
+  let idx = hash(a1 ^ a2 ^ a3 ^ a4) & 0xff;
+  sram({hex(NAT_TABLE_BASE)} + idx)
+}}
+
+fun csum5 (h0, h1, h2, h3, h4) : word {{
+  let s = (h0 >> 16) + (h0 & 0xffff)
+        + (h1 >> 16) + (h1 & 0xffff)
+        + (h2 >> 16) + (h2 & 0xffff)
+        + (h3 >> 16) + (h3 & 0xffff)
+        + (h4 >> 16) + (h4 & 0xffff);
+  let f1 = (s & 0xffff) + (s >> 16);
+  let f2 = (f1 & 0xffff) + (f1 >> 16);
+  (~f2) & 0xffff
+}}
+
+fun main (base) : word {{
+  // The IPv6 header is 10 words; SDRAM moves at most 8 per transfer.
+  let (w0, w1, w2, w3, w4, w5, w6, w7) = sdram(base);
+  let (w8, w9) = sdram(base + 8);
+  let u = unpack[ipv6_header]((w0, w1, w2, w3, w4, w5, w6, w7, w8, w9));
+
+  try {{
+    if (u.vertc.parts.version != 6) raise NotIpv6 (u.vertc.parts.version);
+
+    let src4 = map_address(u.src_address.a1, u.src_address.a2,
+                           u.src_address.a3, u.src_address.a4);
+    let dst4 = map_address(u.dst_address.a1, u.dst_address.a2,
+                           u.dst_address.a3, u.dst_address.a4);
+    if (src4 == 0 || dst4 == 0) raise NoMapping (src4 ^ dst4);
+
+    let (h0, h1, h2, h3, h4) = pack[ipv4_header] [
+      version = 4, ihl = 5, tos = u.vertc.parts.tclass,
+      total_length = u.payload_length + 20,
+      ident = 0, flags_frag = 0x4000,
+      ttl = u.hop_limit, protocol = u.next_header, checksum = 0,
+      src = src4, dst = dst4
+    ];
+    let ck = csum5(h0, h1, h2, h3, h4);
+    let h2f = h2 | ck;
+
+    // New packet start is base+5 (the header shrank by 5 words); SDRAM
+    // needs 8-byte alignment, so write 2 words at base+4 (keeping the
+    // original word) and 4 words at base+6.
+    sdram(base + 4) <- (w4, h0);
+    sdram(base + 6) <- (h1, h2f, h3, h4);
+    ck
+  }}
+  handle NotIpv6 (v) {{ 0xffffffff }}
+  handle NoMapping (x) {{ 0xfffffffe }}
+}}
+"""
+
+
+def nat_memory_image(
+    mappings: dict[tuple[int, int, int, int], int],
+) -> dict:
+    return {"sram": [(NAT_TABLE_BASE, nat.build_nat_table(mappings))]}
+
+
+def build_nat_app(
+    ipv6_words: list[int] | None = None,
+    mappings: dict[tuple[int, int, int, int], int] | None = None,
+    base: int = 0x200,
+) -> AppBundle:
+    """The NAT application bundle: one IPv6 packet header in SDRAM."""
+    if ipv6_words is None:
+        src = (0x20010DB8, 0, 0, 1)
+        dst = (0x20010DB8, 0, 0, 2)
+        w0 = (6 << 28) | (0x0A << 20) | 0x12345
+        w1 = (100 << 16) | (6 << 8) | 64
+        ipv6_words = [w0, w1, *src, *dst]
+    if mappings is None:
+        mappings = {
+            tuple(ipv6_words[2:6]): 0x0A000001,
+            tuple(ipv6_words[6:10]): 0x0A000002,
+        }
+    image = nat_memory_image(mappings)
+    image.setdefault("sdram", []).append((base, ipv6_words))
+    return AppBundle(
+        name="nat",
+        source=NAT_NOVA_SOURCE,
+        memory_image=image,
+        inputs={"base": base},
+        payload_base=base,
+    )
+
+
+def nat_reference_output(
+    ipv6_words: list[int],
+    mappings: dict[tuple[int, int, int, int], int],
+) -> tuple[list[int], int]:
+    """Expected (5 IPv4 header words at base+5, returned checksum)."""
+    table = nat.build_nat_table(mappings)
+    header = nat.translate_ipv6_to_ipv4(ipv6_words, table)
+    return header, header[2] & 0xFFFF

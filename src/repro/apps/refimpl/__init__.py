@@ -1,0 +1,31 @@
+"""Pure-Python reference implementations used to validate the Nova apps."""
+
+from repro.apps.refimpl.aes import (
+    AES_SBOX,
+    aes_encrypt_block,
+    aes_t_tables,
+    expand_key,
+)
+from repro.apps.refimpl.kasumi import (
+    S7,
+    S9,
+    kasumi_encrypt_block,
+    kasumi_subkeys,
+)
+from repro.apps.refimpl.nat import (
+    internet_checksum,
+    translate_ipv6_to_ipv4,
+)
+
+__all__ = [
+    "AES_SBOX",
+    "aes_encrypt_block",
+    "aes_t_tables",
+    "expand_key",
+    "S7",
+    "S9",
+    "kasumi_encrypt_block",
+    "kasumi_subkeys",
+    "internet_checksum",
+    "translate_ipv6_to_ipv4",
+]

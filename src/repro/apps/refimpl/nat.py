@@ -1,0 +1,94 @@
+"""IPv6 → IPv4 network address translation reference.
+
+Mirrors the paper's third benchmark (after Grosse & Lakshman, "Network
+processors applied to IPv4/IPv6 transition"): the fast path receives an
+IPv6 packet, translates its 40-byte header into a 20-byte IPv4 header
+(so the packet start moves), maps the 128-bit addresses to 32-bit ones
+through a translation table, and computes the IPv4 header checksum.
+
+Address mapping: the IXP program hashes the IPv6 address with the hash
+unit and looks the IPv4 address up in an SRAM table indexed by the low
+bits of the hash (a direct-mapped translation cache).  This module
+reproduces that, using the simulator's hash function so the two stay
+bit-exact.
+"""
+
+from __future__ import annotations
+
+from repro.ixp.machine import hash48
+
+MASK32 = 0xFFFFFFFF
+
+#: Number of entries in the direct-mapped translation table.
+NAT_TABLE_SIZE = 256
+#: Each entry is one word: the mapped IPv4 address.
+NAT_TABLE_WORDS = NAT_TABLE_SIZE
+
+
+def internet_checksum(words: list[int]) -> int:
+    """RFC 1071 ones'-complement checksum over 32-bit words."""
+    total = 0
+    for word in words:
+        total += (word >> 16) & 0xFFFF
+        total += word & 0xFFFF
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def nat_table_index(ipv6_addr_words: list[int]) -> int:
+    """Table slot for an IPv6 address: hash unit over the XOR-folded
+    address, low bits select the entry."""
+    folded = 0
+    for word in ipv6_addr_words:
+        folded ^= word
+    return hash48(folded) % NAT_TABLE_SIZE
+
+
+def build_nat_table(
+    mappings: dict[tuple[int, int, int, int], int],
+) -> list[int]:
+    """Direct-mapped table image: one IPv4 word per slot."""
+    table = [0] * NAT_TABLE_SIZE
+    for ipv6, ipv4 in mappings.items():
+        table[nat_table_index(list(ipv6))] = ipv4 & MASK32
+    return table
+
+
+def parse_ipv6_header(words: list[int]) -> dict[str, int | list[int]]:
+    """Spread an IPv6 header (10 words) into fields."""
+    if len(words) != 10:
+        raise ValueError("IPv6 header is 10 words")
+    return {
+        "version": (words[0] >> 28) & 0xF,
+        "traffic_class": (words[0] >> 20) & 0xFF,
+        "flow_label": words[0] & 0xFFFFF,
+        "payload_length": (words[1] >> 16) & 0xFFFF,
+        "next_header": (words[1] >> 8) & 0xFF,
+        "hop_limit": words[1] & 0xFF,
+        "src": words[2:6],
+        "dst": words[6:10],
+    }
+
+
+def translate_ipv6_to_ipv4(
+    ipv6_words: list[int], table: list[int]
+) -> list[int]:
+    """The translation: 10 IPv6 header words → 5 IPv4 header words.
+
+    Field mapping (per the IPv4 header format):
+      version=4, ihl=5, tos = traffic class, total_length = payload + 20,
+      identification=0, flags=DF, ttl = hop limit, protocol = next header,
+      checksum = RFC 1071 over the header, addresses via the table.
+    """
+    h = parse_ipv6_header(ipv6_words)
+    src4 = table[nat_table_index(h["src"])]
+    dst4 = table[nat_table_index(h["dst"])]
+    total_length = (h["payload_length"] + 20) & 0xFFFF
+    word0 = (4 << 28) | (5 << 24) | (h["traffic_class"] << 16) | total_length
+    word1 = (0 << 16) | (0x4000)  # identification 0, DF flag
+    word2 = (h["hop_limit"] << 24) | (h["next_header"] << 16)  # cksum 0
+    header = [word0, word1, word2, src4, dst4]
+    checksum = internet_checksum(header)
+    header[2] |= checksum
+    return header

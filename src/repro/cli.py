@@ -1,0 +1,159 @@
+"""``novac`` — command-line front end for the Nova compiler.
+
+Usage::
+
+    novac program.nova              # compile, print physical code
+    novac --virtual program.nova    # stop before register allocation
+    novac --stats program.nova      # print per-phase statistics
+    novac --cps program.nova        # dump the optimized CPS term
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler import CompileOptions, compile_nova
+from repro.cps import ir
+from repro.errors import NovaError
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="novac", description="Nova → IXP1200 compiler"
+    )
+    parser.add_argument("source", help="Nova source file")
+    parser.add_argument(
+        "--virtual",
+        action="store_true",
+        help="stop after instruction selection (skip the ILP allocator)",
+    )
+    parser.add_argument(
+        "--cps", action="store_true", help="dump the optimized CPS term"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print compilation statistics"
+    )
+    parser.add_argument(
+        "--two-phase",
+        action="store_true",
+        help="use the two-phase (spill-detection first) objective",
+    )
+    parser.add_argument(
+        "--listing",
+        action="store_true",
+        help="print IXP assembler-style output instead of the IR form",
+    )
+    parser.add_argument(
+        "--run",
+        metavar="INPUTS",
+        help=(
+            "execute main on the simulator with comma-separated inputs, "
+            "e.g. --run 'base=64,n=4' (values may be hex)"
+        ),
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="hardware threads for --run (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"novac: {exc}", file=sys.stderr)
+        return 1
+
+    options = CompileOptions()
+    options.run_allocator = not args.virtual
+    options.alloc.two_phase = args.two_phase
+    try:
+        result = compile_nova(source, args.source, options)
+    except NovaError as exc:
+        print(f"novac: {exc}", file=sys.stderr)
+        return 1
+
+    if args.cps:
+        print(ir.pretty(result.ssu.term), end="")
+        return 0
+    if args.stats:
+        stats = result.source_stats
+        print(f"lines: {stats.line_count}  layouts: {stats.layouts}")
+        print(
+            f"packs: {stats.packs}  unpacks: {stats.unpacks}  "
+            f"raises: {stats.raises}  handles: {stats.handles}"
+        )
+        print(f"instructions: {result.flowgraph.num_instructions()}")
+        print(f"temporaries: {len(result.flowgraph.temps())}")
+        for phase, seconds in result.phase_seconds.items():
+            print(f"  {phase:10s} {seconds * 1000:8.1f} ms")
+        if result.alloc is not None:
+            row = result.alloc.figure7_row()
+            print(
+                "ILP: "
+                + "  ".join(f"{key}={value}" for key, value in row.items())
+            )
+        return 0
+    if args.run is not None:
+        return _run_program(result, args)
+
+    graph = result.physical if result.alloc is not None else result.flowgraph
+    if args.listing:
+        from repro.ixp.listing import render_listing
+
+        print(render_listing(graph, title=args.source), end="")
+    else:
+        print(graph.pretty(), end="")
+    return 0
+
+
+def _run_program(result, args) -> int:
+    """Execute the compiled program on the simulator (--run)."""
+    from repro.ixp.machine import CLOCK_MHZ, Machine
+
+    try:
+        values = {}
+        if args.run.strip():
+            for piece in args.run.split(","):
+                name, _, text = piece.partition("=")
+                values[name.strip()] = int(text.strip(), 0)
+        raw = result.make_inputs(**values)
+    except (ValueError, KeyError) as exc:
+        print(f"novac: bad --run inputs: {exc}", file=sys.stderr)
+        return 1
+
+    if result.alloc is not None:
+        graph = result.physical
+        locations = result.alloc.decoded.input_locations
+        inputs = {}
+        for temp, value in raw.items():
+            loc = locations.get(temp)
+            if loc is not None:
+                inputs[(loc[1].bank, loc[1].index)] = value
+        physical = True
+    else:
+        graph, inputs, physical = result.flowgraph, raw, False
+
+    machine = Machine(
+        graph,
+        threads=args.threads,
+        physical=physical,
+        input_provider=lambda tid, it: dict(inputs) if it == 0 else None,
+    )
+    run = machine.run()
+    for tid, halt_values in run.results:
+        rendered = ", ".join(f"{v:#x}" for v in halt_values)
+        print(f"thread {tid}: ({rendered})")
+    microseconds = run.cycles / CLOCK_MHZ
+    print(
+        f"{run.cycles} cycles ({microseconds:.2f} us at {CLOCK_MHZ} MHz), "
+        f"{run.instructions} instructions"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,212 @@
+"""End-to-end Nova compiler driver.
+
+Pipeline (paper Section 4):
+
+    parse → typecheck → CPS convert → de-proceduralize (full inlining)
+    → CPS optimize → static single use → instruction selection
+    → ILP bank assignment + coloring + spills → decode to physical code
+
+Each phase's artifact is kept on the :class:`Compilation` object so tests
+and benchmarks can inspect intermediate state, and :func:`compile_nova`
+wraps the common path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.nova import ast
+from repro.nova.parser import parse_program
+from repro.nova.typecheck import TypedProgram, typecheck_program
+from repro.cps import ir
+from repro.cps.convert import CpsProgram, cps_convert
+from repro.cps.deproc import FirstOrderProgram, deproceduralize
+from repro.cps.optimize import OptimizeResult, optimize
+from repro.cps.ssu import SsuStats, check_ssu, to_ssu
+from repro.ixp.flowgraph import FlowGraph
+from repro.ixp.select import select_instructions
+from repro.alloc.allocator import AllocOptions, AllocResult, allocate
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for the end-to-end pipeline."""
+
+    alloc: AllocOptions = field(default_factory=AllocOptions)
+    #: Stop after instruction selection (no ILP); the virtual flowgraph
+    #: still runs on the simulator and is the semantic reference.
+    run_allocator: bool = True
+    #: Disable the static-single-use transform (ablation only: programs
+    #: with conflicting aggregate positions then have no feasible
+    #: coloring, paper Sections 9-10).
+    run_ssu: bool = True
+    optimizer_rounds: int = 12
+
+
+@dataclass
+class SourceStats:
+    """Static program statistics (paper Figure 5)."""
+
+    line_count: int
+    layouts: int
+    packs: int
+    unpacks: int
+    raises: int
+    handles: int
+
+    @staticmethod
+    def of(source: str, program: ast.Program) -> "SourceStats":
+        counts = {"pack": 0, "unpack": 0, "raise": 0, "handle": 0}
+
+        def walk(node: object) -> None:
+            if isinstance(node, ast.PackExpr):
+                counts["pack"] += 1
+            elif isinstance(node, ast.UnpackExpr):
+                counts["unpack"] += 1
+            elif isinstance(node, ast.RaiseExpr):
+                counts["raise"] += 1
+            elif isinstance(node, ast.TryExpr):
+                counts["handle"] += len(node.handlers)
+            for name in vars(node) if hasattr(node, "__dict__") else ():
+                child = getattr(node, name)
+                items = child if isinstance(child, list) else [child]
+                for item in items:
+                    if isinstance(item, tuple):
+                        for part in item:
+                            if isinstance(part, (ast.Expr, ast.Handler)):
+                                walk(part)
+                    elif isinstance(item, ast.FunStmt):
+                        walk(item.decl.body)
+                    elif isinstance(
+                        item,
+                        (
+                            ast.Expr,
+                            ast.Handler,
+                            ast.LetStmt,
+                            ast.AssignStmt,
+                            ast.ExprStmt,
+                        ),
+                    ):
+                        walk(item)
+
+        for fun in program.funs:
+            walk(fun.body)
+        return SourceStats(
+            line_count=len(source.splitlines()),
+            layouts=len(program.layouts),
+            packs=counts["pack"],
+            unpacks=counts["unpack"],
+            raises=counts["raise"],
+            handles=counts["handle"],
+        )
+
+
+@dataclass
+class Compilation:
+    """All artifacts of one compiler run."""
+
+    source: str
+    program: ast.Program
+    typed: TypedProgram
+    cps: CpsProgram
+    first_order: FirstOrderProgram
+    opt_result: OptimizeResult
+    ssu: FirstOrderProgram
+    ssu_stats: SsuStats
+    flowgraph: FlowGraph
+    alloc: AllocResult | None
+    source_stats: SourceStats
+    phase_seconds: dict[str, float]
+
+    @property
+    def physical(self) -> FlowGraph:
+        assert self.alloc is not None, "allocator was not run"
+        return self.alloc.physical
+
+    @property
+    def input_temps(self) -> tuple[str, ...]:
+        return self.first_order.params
+
+    def inputs_by_name(self) -> dict[str, list[str]]:
+        """Entry-function source parameter names → flattened input temps."""
+        return self.cps.param_names[self.cps.entry]
+
+    def make_inputs(self, **values: int | list[int]) -> dict[str, int]:
+        """Build a virtual-machine input dict from source parameter names.
+
+        A multi-word parameter (tuple/record) takes a list of words.
+        """
+        mapping = self.inputs_by_name()
+        out: dict[str, int] = {}
+        for name, value in values.items():
+            temps = mapping[name]
+            words = value if isinstance(value, list) else [value]
+            if len(words) != len(temps):
+                raise ValueError(
+                    f"parameter '{name}' has {len(temps)} words, got "
+                    f"{len(words)}"
+                )
+            for temp, word in zip(temps, words):
+                out[temp] = word
+        return out
+
+
+class Compiler:
+    """Staged compiler; reusable across programs."""
+
+    def __init__(self, options: CompileOptions | None = None):
+        self.options = options or CompileOptions()
+
+    def compile(self, source: str, filename: str = "<nova>") -> Compilation:
+        times: dict[str, float] = {}
+
+        def timed(name: str, fn):
+            start = time.perf_counter()
+            result = fn()
+            times[name] = time.perf_counter() - start
+            return result
+
+        program = timed("parse", lambda: parse_program(source, filename))
+        typed = timed("typecheck", lambda: typecheck_program(program))
+        cps = timed("cps", lambda: cps_convert(typed))
+        first_order = timed("deproc", lambda: deproceduralize(cps))
+        opt = timed(
+            "optimize",
+            lambda: optimize(first_order.term, self.options.optimizer_rounds),
+        )
+        optimized = FirstOrderProgram(
+            first_order.params, opt.term, first_order.gensym
+        )
+        if self.options.run_ssu:
+            ssu, ssu_stats = timed("ssu", lambda: to_ssu(optimized))
+            assert check_ssu(ssu.term), "SSU transform failed its own invariant"
+        else:
+            ssu, ssu_stats = optimized, SsuStats()
+        graph = timed("select", lambda: select_instructions(ssu))
+        alloc = None
+        if self.options.run_allocator:
+            alloc = timed("allocate", lambda: allocate(graph, self.options.alloc))
+        return Compilation(
+            source=source,
+            program=program,
+            typed=typed,
+            cps=cps,
+            first_order=first_order,
+            opt_result=opt,
+            ssu=ssu,
+            ssu_stats=ssu_stats,
+            flowgraph=graph,
+            alloc=alloc,
+            source_stats=SourceStats.of(source, program),
+            phase_seconds=times,
+        )
+
+
+def compile_nova(
+    source: str,
+    filename: str = "<nova>",
+    options: CompileOptions | None = None,
+) -> Compilation:
+    """Compile Nova source text through the whole pipeline."""
+    return Compiler(options).compile(source, filename)

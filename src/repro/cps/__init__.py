@@ -1,0 +1,49 @@
+"""CPS middle end: IR, conversion, optimizer, de-proceduralization, SSU."""
+
+from repro.cps.ir import (
+    AppCont,
+    AppFun,
+    Atom,
+    Const,
+    FunDef,
+    Halt,
+    If,
+    LetClone,
+    LetCont,
+    LetFun,
+    LetPrim,
+    LetVal,
+    MemRead,
+    MemWrite,
+    Special,
+    Term,
+    Var,
+)
+from repro.cps.convert import cps_convert
+from repro.cps.optimize import optimize
+from repro.cps.deproc import deproceduralize
+from repro.cps.ssu import to_ssu
+
+__all__ = [
+    "AppCont",
+    "AppFun",
+    "Atom",
+    "Const",
+    "FunDef",
+    "Halt",
+    "If",
+    "LetClone",
+    "LetCont",
+    "LetFun",
+    "LetPrim",
+    "LetVal",
+    "MemRead",
+    "MemWrite",
+    "Special",
+    "Term",
+    "Var",
+    "cps_convert",
+    "optimize",
+    "deproceduralize",
+    "to_ssu",
+]

@@ -1,0 +1,1347 @@
+"""CPS conversion: typed Nova AST → CPS term (paper Section 4.1).
+
+Key properties established here:
+
+- **Record flattening** — tuples and records exist only at compile time;
+  every leaf field becomes its own CPS variable (Section 3.1).
+- **SSA for temporaries** — conversion gensyms every binder and turns
+  source-level assignment (``x := e``) and loops into continuation
+  parameters, so no CPS variable is ever redefined (Section 4.2).
+- **Exceptions as continuations** — handler names convert to continuation
+  names; ``raise`` is a jump; exceptions passed to functions become
+  continuation parameters (Section 3.4).
+- **Booleans as control flow** — conditions convert directly to ``If``
+  branches; a boolean is materialized as 0/1 only when used as data.
+- **pack/unpack lowering** — layout recipes become shift/mask ALU chains;
+  fields nobody reads are swept away later by useless-variable/dead-code
+  elimination (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CpsError
+from repro.nova import ast
+from repro.nova import layouts as lay
+from repro.nova import types as ty
+from repro.nova.typecheck import BOTTOM, TypedProgram
+from repro.cps import ir
+from repro.cps.ir import AppCont, AppFun, Atom, Const, Halt, If, Var
+
+
+# --------------------------------------------------------------------------
+# Compile-time shapes: the flattened representation of Nova values
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Shape:
+    """Compile-time description of how a Nova value is represented."""
+
+
+@dataclass(frozen=True)
+class Leaf(Shape):
+    """A word or bool: one atom (register or constant)."""
+
+    atom: Atom
+
+
+@dataclass(frozen=True)
+class UnitShape(Shape):
+    pass
+
+
+@dataclass(frozen=True)
+class TupleShape(Shape):
+    elems: tuple[Shape, ...]
+
+
+@dataclass(frozen=True)
+class RecordShape(Shape):
+    fields: tuple[tuple[str, Shape], ...]
+
+    def field(self, name: str) -> Shape | None:
+        for fname, shape in self.fields:
+            if fname == name:
+                return shape
+        return None
+
+
+@dataclass(frozen=True)
+class ExnShape(Shape):
+    """An exception value: the name of its handler continuation."""
+
+    cont: str
+
+
+@dataclass(frozen=True)
+class FunShape(Shape):
+    """A nested function: its declaration plus the closure environment
+    (a scope snapshot) captured where it was declared.  Calls inline the
+    body with this environment (Section 3.1: closures need no memory)."""
+
+    decl: object  # ast.FunDecl
+    env: tuple  # scope snapshot (tuple of dicts, immutable-ish)
+
+
+UNIT_SHAPE = UnitShape()
+
+
+def data_leaves(shape: Shape) -> list[Atom]:
+    """The data atoms of a shape in structural order (no exceptions)."""
+    if isinstance(shape, Leaf):
+        return [shape.atom]
+    if isinstance(shape, (UnitShape, ExnShape)):
+        return []
+    if isinstance(shape, TupleShape):
+        out: list[Atom] = []
+        for elem in shape.elems:
+            out.extend(data_leaves(elem))
+        return out
+    if isinstance(shape, RecordShape):
+        out = []
+        for _, sub in shape.fields:
+            out.extend(data_leaves(sub))
+        return out
+    raise CpsError(f"unhandled shape {type(shape).__name__}")
+
+
+def cont_leaves(shape: Shape) -> list[str]:
+    """The exception-continuation names of a shape in structural order."""
+    if isinstance(shape, ExnShape):
+        return [shape.cont]
+    if isinstance(shape, TupleShape):
+        out: list[str] = []
+        for elem in shape.elems:
+            out.extend(cont_leaves(elem))
+        return out
+    if isinstance(shape, RecordShape):
+        out = []
+        for _, sub in shape.fields:
+            out.extend(cont_leaves(sub))
+        return out
+    return []
+
+
+def _shape_path_map(shape: Shape) -> dict[tuple[str, ...], Atom]:
+    """Flatten a shape into path → atom (tuple indices as decimal)."""
+    out: dict[tuple[str, ...], Atom] = {}
+
+    def walk(s: Shape, prefix: tuple[str, ...]) -> None:
+        if isinstance(s, Leaf):
+            out[prefix] = s.atom
+        elif isinstance(s, TupleShape):
+            for i, elem in enumerate(s.elems):
+                walk(elem, prefix + (str(i),))
+        elif isinstance(s, RecordShape):
+            for name, sub in s.fields:
+                walk(sub, prefix + (name,))
+
+    walk(shape, ())
+    return out
+
+
+# --------------------------------------------------------------------------
+# Assigned-variable analysis (for join/loop parameters)
+# --------------------------------------------------------------------------
+
+
+def assigned_names(node: object) -> set[str]:
+    """Names targeted by ``:=`` anywhere inside an AST fragment."""
+    out: set[str] = set()
+
+    def walk(n: object) -> None:
+        if isinstance(n, ast.AssignStmt):
+            out.add(n.name)
+            walk(n.value)
+        elif isinstance(n, ast.LetStmt):
+            walk(n.init)
+        elif isinstance(n, ast.ExprStmt):
+            walk(n.expr)
+        elif isinstance(n, ast.FunStmt):
+            walk(n.decl.body)  # runs at call sites within this region
+        elif isinstance(n, ast.Block):
+            for s in n.stmts:
+                walk(s)
+            if n.result is not None:
+                walk(n.result)
+        elif isinstance(n, ast.Handler):
+            walk(n.body)
+        elif isinstance(n, ast.Expr):
+            for name in vars(n):
+                child = getattr(n, name)
+                if isinstance(child, (ast.Expr, ast.Handler)):
+                    walk(child)
+                elif isinstance(child, list):
+                    for item in child:
+                        if isinstance(item, (ast.Expr, ast.Handler)):
+                            walk(item)
+                        elif isinstance(item, tuple):
+                            for part in item:
+                                if isinstance(part, ast.Expr):
+                                    walk(part)
+
+    walk(node)
+    return out
+
+
+# --------------------------------------------------------------------------
+# The converter
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CpsProgram:
+    """Result of conversion: one CPS FunDef per Nova function."""
+
+    funs: dict[str, ir.FunDef]
+    entry: str
+    gensym: ir.Gensym
+    #: per function: source parameter name → its flattened data temps
+    param_names: dict[str, dict[str, list[str]]] = None  # type: ignore[assignment]
+    #: functions compiled with the two-continuation boolean convention
+    #: (paper Section 4.1: "functions returning a bool take two return
+    #: continuations instead of one")
+    bool_returns: frozenset[str] = frozenset()
+
+
+class _Converter:
+    def __init__(self, typed: TypedProgram):
+        self.typed = typed
+        self.gensym = ir.Gensym()
+        self.scopes: list[dict[str, Shape]] = []
+        self.bool_returns: frozenset[str] = frozenset()
+
+    # -- environment -------------------------------------------------------
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def bind(self, name: str, shape: Shape) -> None:
+        self.scopes[-1][name] = shape
+
+    def lookup(self, name: str) -> Shape:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise CpsError(f"unbound variable '{name}' during conversion")
+
+    def _try_lookup(self, name: str) -> Shape | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def assign(self, name: str, shape: Shape) -> None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                scope[name] = shape
+                return
+        raise CpsError(f"assignment to unbound '{name}' during conversion")
+
+    def snapshot(self) -> list[dict[str, Shape]]:
+        return [dict(scope) for scope in self.scopes]
+
+    def restore(self, snap: list[dict[str, Shape]]) -> None:
+        self.scopes = [dict(scope) for scope in snap]
+
+    def in_scope(self, name: str) -> bool:
+        return any(name in scope for scope in self.scopes)
+
+    # -- shapes from types ----------------------------------------------------
+
+    def fresh_shape(self, t: ty.Type, hint: str) -> tuple[Shape, list[str]]:
+        """A shape of fresh variables matching type ``t`` plus the list of
+        the fresh names in structural order (used as continuation params).
+        """
+        names: list[str] = []
+
+        def build(t2: ty.Type) -> Shape:
+            if isinstance(t2, (ty.Word, ty.Bool)):
+                name = self.gensym.fresh(hint)
+                names.append(name)
+                return Leaf(Var(name))
+            if isinstance(t2, ty.Unit) or t2 == BOTTOM:
+                return UNIT_SHAPE
+            if isinstance(t2, ty.Tuple):
+                return TupleShape(tuple(build(e) for e in t2.elems))
+            if isinstance(t2, ty.Record):
+                return RecordShape(tuple((n, build(s)) for n, s in t2.fields))
+            raise CpsError(f"cannot build runtime shape for type {t2}")
+
+        return build(t), names
+
+    # -- top level ----------------------------------------------------------
+
+    def run(self) -> CpsProgram:
+        funs: dict[str, ir.FunDef] = {}
+        param_names: dict[str, dict[str, list[str]]] = {}
+        entry = (
+            "main"
+            if any(f.name == "main" for f in self.typed.program.funs)
+            else self.typed.program.funs[0].name
+        )
+        # The two-continuation convention applies to bool-returning
+        # functions — except the entry, whose caller is the hardware.
+        self.bool_returns = frozenset(
+            decl.name
+            for decl in self.typed.program.funs
+            if self.typed.sigs[decl.name].ret == ty.BOOL
+            and decl.name != entry
+        )
+        for decl in self.typed.program.funs:
+            funs[decl.name] = self.convert_fun(decl)
+            param_names[decl.name] = self._last_param_names
+        return CpsProgram(
+            funs, entry, self.gensym, param_names, self.bool_returns
+        )
+
+    def convert_fun(self, decl: ast.FunDecl) -> ir.FunDef:
+        sig = self.typed.sigs[decl.name]
+        self.scopes = []
+        self.push_scope()
+        data_params: list[str] = []
+        cont_params: list[str] = []
+        shape = self._bind_param_pattern(decl.param, sig.param, data_params, cont_params)
+        del shape
+        self._last_param_names = self._source_param_names(decl.param)
+        if decl.name in self.bool_returns:
+            # Two-continuation convention: the body is converted as
+            # control flow, jumping to ret_true / ret_false.
+            ret_true = self.gensym.fresh("rett")
+            ret_false = self.gensym.fresh("retf")
+            body = self.conv_cond(
+                decl.body,
+                lambda: AppCont(ret_true, ()),
+                lambda: AppCont(ret_false, ()),
+            )
+            self.pop_scope()
+            return ir.FunDef(
+                decl.name,
+                tuple(data_params),
+                (ret_true, ret_false, *cont_params),
+                body,
+            )
+        ret_cont = self.gensym.fresh("ret")
+        body = self.conv(
+            decl.body,
+            lambda s: AppCont(ret_cont, tuple(data_leaves(s))),
+            tail=True,
+        )
+        self.pop_scope()
+        return ir.FunDef(
+            decl.name,
+            tuple(data_params),
+            (ret_cont, *cont_params),
+            body,
+        )
+
+    def _source_param_names(self, pat: ast.Pattern) -> dict[str, list[str]]:
+        """Source parameter names → their flattened data temps (drivers
+        use this to supply program inputs by source name)."""
+        out: dict[str, list[str]] = {}
+
+        def walk(p: ast.Pattern) -> None:
+            if isinstance(p, ast.VarPat):
+                shape = self.lookup(p.name)
+                out[p.name] = [
+                    atom.name
+                    for atom in data_leaves(shape)
+                    if isinstance(atom, Var)
+                ]
+            elif isinstance(p, ast.TuplePat):
+                for sub in p.elems:
+                    walk(sub)
+            elif isinstance(p, ast.RecordPat):
+                for _, sub in p.fields:
+                    walk(sub)
+
+        walk(pat)
+        return out
+
+    def _bind_param_pattern(
+        self,
+        pat: ast.Pattern,
+        t: ty.Type,
+        data_params: list[str],
+        cont_params: list[str],
+    ) -> Shape:
+        """Create fresh parameters for a pattern and bind its variables."""
+
+        def build(t2: ty.Type, hint: str) -> Shape:
+            if isinstance(t2, (ty.Word, ty.Bool)):
+                name = self.gensym.fresh(hint)
+                data_params.append(name)
+                return Leaf(Var(name))
+            if isinstance(t2, ty.Unit):
+                return UNIT_SHAPE
+            if isinstance(t2, ty.Tuple):
+                return TupleShape(tuple(build(e, hint) for e in t2.elems))
+            if isinstance(t2, ty.Record):
+                return RecordShape(
+                    tuple((n, build(s, n)) for n, s in t2.fields)
+                )
+            if isinstance(t2, ty.Exn):
+                name = self.gensym.fresh("exn")
+                cont_params.append(name)
+                return ExnShape(name)
+            if isinstance(t2, ty.Arrow):
+                raise CpsError(
+                    "function-typed parameters are not supported by this "
+                    "back end (pass exceptions instead)"
+                )
+            raise CpsError(f"unhandled parameter type {t2}")
+
+        shape = build(t, "p")
+        self.bind_pattern(pat, shape)
+        return shape
+
+    def bind_pattern(self, pat: ast.Pattern, shape: Shape) -> None:
+        if isinstance(pat, ast.WildPat):
+            return
+        if isinstance(pat, ast.VarPat):
+            self.bind(pat.name, shape)
+            return
+        if isinstance(pat, ast.TuplePat):
+            if isinstance(shape, UnitShape) and not pat.elems:
+                return
+            if len(pat.elems) == 1 and not (
+                isinstance(shape, TupleShape) and len(shape.elems) == 1
+            ):
+                # Singleton tuple patterns unwrap (parameter lists).
+                self.bind_pattern(pat.elems[0], shape)
+                return
+            if not isinstance(shape, TupleShape) or len(shape.elems) != len(pat.elems):
+                raise CpsError("tuple pattern arity mismatch during conversion")
+            for sub, sub_shape in zip(pat.elems, shape.elems):
+                self.bind_pattern(sub, sub_shape)
+            return
+        if isinstance(pat, ast.RecordPat):
+            if not isinstance(shape, RecordShape):
+                raise CpsError("record pattern over non-record shape")
+            for name, sub in pat.fields:
+                sub_shape = shape.field(name)
+                if sub_shape is None:
+                    raise CpsError(f"missing field '{name}' during conversion")
+                self.bind_pattern(sub, sub_shape)
+            return
+        raise CpsError(f"unhandled pattern {type(pat).__name__}")
+
+    # -- expression conversion -------------------------------------------------
+
+    def conv(
+        self,
+        expr: ast.Expr,
+        k: Callable[[Shape], ir.Term],
+        tail: bool = False,
+    ) -> ir.Term:
+        """Convert ``expr``; ``k`` receives the value's shape exactly once
+        (or never, if the expression provably diverges)."""
+        if isinstance(expr, ast.IntLit):
+            return k(Leaf(Const(expr.value)))
+        if isinstance(expr, ast.BoolLit):
+            return k(Leaf(Const(1 if expr.value else 0)))
+        if isinstance(expr, ast.UnitLit):
+            return k(UNIT_SHAPE)
+        if isinstance(expr, ast.VarRef):
+            return k(self.lookup(expr.name))
+        if isinstance(expr, ast.TupleExpr):
+            return self.conv_list(
+                expr.elems, lambda shapes: k(TupleShape(tuple(shapes)))
+            )
+        if isinstance(expr, ast.RecordExpr):
+            names = [n for n, _ in expr.fields]
+            exprs = [e for _, e in expr.fields]
+            return self.conv_list(
+                exprs,
+                lambda shapes: k(RecordShape(tuple(zip(names, shapes)))),
+            )
+        if isinstance(expr, ast.FieldAccess):
+            def project(shape: Shape) -> ir.Term:
+                if isinstance(shape, RecordShape):
+                    sub = shape.field(expr.field_name)
+                    if sub is None:
+                        raise CpsError(f"no field '{expr.field_name}'")
+                    return k(sub)
+                if isinstance(shape, TupleShape):
+                    return k(shape.elems[int(expr.field_name)])
+                raise CpsError("projection from non-aggregate shape")
+
+            return self.conv(expr.base, project)
+        if isinstance(expr, ast.UnOp):
+            return self.conv_unop(expr, k)
+        if isinstance(expr, ast.BinOp):
+            return self.conv_binop(expr, k)
+        if isinstance(expr, ast.IfExpr):
+            return self.conv_if(expr, k, tail)
+        if isinstance(expr, ast.WhileExpr):
+            return self.conv_while(expr, k)
+        if isinstance(expr, ast.Block):
+            return self.conv_block(expr, k, tail)
+        if isinstance(expr, ast.Call):
+            return self.conv_call(expr, k)
+        if isinstance(expr, ast.MemRead):
+            return self.conv_mem_read(expr, k)
+        if isinstance(expr, ast.MemWrite):
+            return self.conv_mem_write(expr, k)
+        if isinstance(expr, ast.HashOp):
+            def do_hash(shape: Shape) -> ir.Term:
+                dst = self.gensym.fresh("h")
+                return ir.Special(
+                    dst, "hash", (self._leaf_atom(shape),), k(Leaf(Var(dst)))
+                )
+
+            return self.conv(expr.operand, do_hash)
+        if isinstance(expr, ast.CsrOp):
+            if expr.value is None:
+                dst = self.gensym.fresh("csr")
+                return ir.Special(
+                    dst, "csr_rd", (Const(expr.number),), k(Leaf(Var(dst)))
+                )
+
+            def do_write(shape: Shape) -> ir.Term:
+                return ir.Special(
+                    None,
+                    "csr_wr",
+                    (Const(expr.number), self._leaf_atom(shape)),
+                    k(UNIT_SHAPE),
+                )
+
+            return self.conv(expr.value, do_write)
+        if isinstance(expr, ast.CtxSwap):
+            return ir.Special(None, "ctx_swap", (), k(UNIT_SHAPE))
+        if isinstance(expr, ast.LockOp):
+            return ir.Special(
+                None, expr.kind, (Const(expr.number),), k(UNIT_SHAPE)
+            )
+        if isinstance(expr, ast.UnpackExpr):
+            return self.conv_unpack(expr, k)
+        if isinstance(expr, ast.PackExpr):
+            return self.conv_pack(expr, k)
+        if isinstance(expr, ast.RaiseExpr):
+            return self.conv_raise(expr)
+        if isinstance(expr, ast.TryExpr):
+            return self.conv_try(expr, k, tail)
+        raise CpsError(f"unhandled expression {type(expr).__name__}")
+
+    def conv_list(
+        self,
+        exprs: list[ast.Expr],
+        k: Callable[[list[Shape]], ir.Term],
+    ) -> ir.Term:
+        shapes: list[Shape] = []
+
+        def step(index: int) -> ir.Term:
+            if index == len(exprs):
+                return k(shapes)
+            return self.conv(
+                exprs[index],
+                lambda s: (shapes.append(s), step(index + 1))[1],
+            )
+
+        return step(0)
+
+    @staticmethod
+    def _leaf_atom(shape: Shape) -> Atom:
+        if not isinstance(shape, Leaf):
+            raise CpsError(f"expected word value, got {type(shape).__name__}")
+        return shape.atom
+
+    # -- operators ---------------------------------------------------------
+
+    _PRIM_OF_OP = {
+        "+": "add",
+        "-": "sub",
+        "*": "mul",
+        "/": "div",
+        "%": "mod",
+        "&": "and",
+        "|": "or",
+        "^": "xor",
+        "<<": "shl",
+        ">>": "shr",
+    }
+
+    _CMP_OF_OP = {
+        "==": "eq",
+        "!=": "ne",
+        "<": "lt",
+        "<=": "le",
+        ">": "gt",
+        ">=": "ge",
+    }
+
+    def conv_unop(self, expr: ast.UnOp, k) -> ir.Term:
+        if expr.op == "!":
+            # Boolean negation: flip 0/1 with xor.
+            def flip(shape: Shape) -> ir.Term:
+                dst = self.gensym.fresh("b")
+                return ir.LetPrim(
+                    dst, "xor", (self._leaf_atom(shape), Const(1)), k(Leaf(Var(dst)))
+                )
+
+            return self.conv(expr.operand, flip)
+        op = "not" if expr.op == "~" else "neg"
+
+        def apply(shape: Shape) -> ir.Term:
+            dst = self.gensym.fresh("t")
+            return ir.LetPrim(dst, op, (self._leaf_atom(shape),), k(Leaf(Var(dst))))
+
+        return self.conv(expr.operand, apply)
+
+    def conv_binop(self, expr: ast.BinOp, k) -> ir.Term:
+        if expr.op in self._PRIM_OF_OP:
+            prim = self._PRIM_OF_OP[expr.op]
+
+            def left_done(ls: Shape) -> ir.Term:
+                def right_done(rs: Shape) -> ir.Term:
+                    dst = self.gensym.fresh("t")
+                    return ir.LetPrim(
+                        dst,
+                        prim,
+                        (self._leaf_atom(ls), self._leaf_atom(rs)),
+                        k(Leaf(Var(dst))),
+                    )
+
+                return self.conv(expr.right, right_done)
+
+            return self.conv(expr.left, left_done)
+        # Comparison or boolean connective in value position: materialize
+        # 0/1 through a join continuation.
+        join = self.gensym.fresh("bj")
+        result = self.gensym.fresh("b")
+        body = self.conv_cond(
+            expr,
+            lambda: AppCont(join, (Const(1),)),
+            lambda: AppCont(join, (Const(0),)),
+        )
+        return ir.LetCont(join, (result,), k(Leaf(Var(result))), body)
+
+    def conv_cond(
+        self,
+        expr: ast.Expr,
+        kt: Callable[[], ir.Term],
+        kf: Callable[[], ir.Term],
+    ) -> ir.Term:
+        """Convert a boolean expression as control flow (Section 4.1).
+
+        ``kt``/``kf`` must produce *small* terms (jumps); they may be
+        invoked multiple times along different paths.
+        """
+        if isinstance(expr, ast.BoolLit):
+            return kt() if expr.value else kf()
+        if isinstance(expr, ast.UnOp) and expr.op == "!":
+            return self.conv_cond(expr.operand, kf, kt)
+        if isinstance(expr, ast.BinOp) and expr.op == "&&":
+            return self.conv_cond(
+                expr.left, lambda: self.conv_cond(expr.right, kt, kf), kf
+            )
+        if isinstance(expr, ast.BinOp) and expr.op == "||":
+            return self.conv_cond(
+                expr.left, kt, lambda: self.conv_cond(expr.right, kt, kf)
+            )
+        if isinstance(expr, ast.BinOp) and expr.op in self._CMP_OF_OP:
+            cmp = self._CMP_OF_OP[expr.op]
+            bool_operands = getattr(expr.left, "ty", None) == ty.BOOL
+
+            def left_done(ls: Shape) -> ir.Term:
+                def right_done(rs: Shape) -> ir.Term:
+                    return If(
+                        cmp,
+                        self._leaf_atom(ls),
+                        self._leaf_atom(rs),
+                        kt(),
+                        kf(),
+                    )
+
+                return self.conv(expr.right, right_done)
+
+            del bool_operands
+            return self.conv(expr.left, left_done)
+        if isinstance(expr, ast.Block):
+            # A block in condition position (typically a function body):
+            # convert the statements, then the result as control flow.
+            depth = len(self.scopes)
+            self.push_scope()
+
+            def finish(which):
+                # kt/kf close over the *caller's* scope: hide the block
+                # scopes while they build their jumps, then restore them
+                # for the rest of the construction.
+                def inner():
+                    saved = self.scopes
+                    self.scopes = self.scopes[:depth]
+                    term = which()
+                    self.scopes = saved
+                    return term
+
+                return inner
+
+            def step(index: int) -> ir.Term:
+                if index == len(expr.stmts):
+                    result = expr.result
+                    assert result is not None, "bool block lacks a result"
+                    return self.conv_cond(result, finish(kt), finish(kf))
+                stmt = expr.stmts[index]
+                if isinstance(stmt, ast.FunStmt):
+                    self.bind(
+                        stmt.decl.name,
+                        FunShape(stmt.decl, tuple(self.snapshot())),
+                    )
+                    return step(index + 1)
+                if isinstance(stmt, ast.LetStmt):
+                    def bound(shape: Shape, index=index, stmt=stmt) -> ir.Term:
+                        self.bind_pattern(stmt.pat, shape)
+                        return step(index + 1)
+
+                    return self.conv(stmt.init, bound)
+                if isinstance(stmt, ast.AssignStmt):
+                    def assigned(shape: Shape, index=index, stmt=stmt) -> ir.Term:
+                        self.assign(stmt.name, shape)
+                        return step(index + 1)
+
+                    return self.conv(stmt.value, assigned)
+                return self.conv(stmt.expr, lambda s, index=index: step(index + 1))
+
+            term = step(0)
+            del self.scopes[depth:]
+            return term
+        if (
+            isinstance(expr, ast.IfExpr)
+            and expr.else_branch is not None
+            and not any(
+                self.in_scope(n) for n in assigned_names(expr.cond)
+            )
+        ):
+            # A bool-valued if in condition position: keep everything as
+            # control flow (this is also what keeps tail recursion in
+            # bool functions a loop).  All thunks become named zero-arg
+            # continuations so nothing is duplicated.
+            kt_name = self.gensym.fresh("kt")
+            kf_name = self.gensym.fresh("kf")
+            then_name = self.gensym.fresh("kb")
+            else_name = self.gensym.fresh("ke")
+            snap = self.snapshot()
+
+            def jump(name):
+                return lambda: AppCont(name, ())
+
+            self.restore(snap)
+            then_term = self.conv_cond(
+                expr.then_branch, jump(kt_name), jump(kf_name)
+            )
+            self.restore(snap)
+            else_term = self.conv_cond(
+                expr.else_branch, jump(kt_name), jump(kf_name)
+            )
+            self.restore(snap)
+            cond_term = self.conv_cond(
+                expr.cond, jump(then_name), jump(else_name)
+            )
+            self.restore(snap)
+            return ir.LetCont(
+                kt_name,
+                (),
+                kt(),
+                ir.LetCont(
+                    kf_name,
+                    (),
+                    kf(),
+                    ir.LetCont(
+                        then_name,
+                        (),
+                        then_term,
+                        ir.LetCont(else_name, (), else_term, cond_term),
+                    ),
+                ),
+            )
+        if isinstance(expr, ast.Call) and expr.fn in self.bool_returns:
+            # Wire the branch continuations straight into the callee
+            # (paper Section 4.1) — no 0/1 ever materializes.
+            def with_arg(arg_shape: Shape) -> ir.Term:
+                data = tuple(data_leaves(arg_shape))
+                exns = tuple(cont_leaves(arg_shape))
+                kt_name = self.gensym.fresh("kt")
+                kf_name = self.gensym.fresh("kf")
+                return ir.LetCont(
+                    kt_name,
+                    (),
+                    kt(),
+                    ir.LetCont(
+                        kf_name,
+                        (),
+                        kf(),
+                        AppFun(expr.fn, data, (kt_name, kf_name, *exns)),
+                    ),
+                )
+
+            return self.conv(expr.arg, with_arg)
+        # General boolean value: compare against 0.
+        return self.conv(
+            expr,
+            lambda s: If("ne", self._leaf_atom(s), Const(0), kt(), kf()),
+        )
+
+    # -- control ---------------------------------------------------------------
+
+    def _changed_leaves(self, names: list[str]) -> list[Atom]:
+        out: list[Atom] = []
+        for name in names:
+            out.extend(data_leaves(self.lookup(name)))
+        return out
+
+    def _rebind_changed(self, names: list[str], params: list[str]) -> None:
+        """After a join, point each changed variable at its join params."""
+        index = 0
+
+        def rebuild(shape: Shape) -> Shape:
+            nonlocal index
+            if isinstance(shape, Leaf):
+                leaf = Leaf(Var(params[index]))
+                index += 1
+                return leaf
+            if isinstance(shape, TupleShape):
+                return TupleShape(tuple(rebuild(e) for e in shape.elems))
+            if isinstance(shape, RecordShape):
+                return RecordShape(
+                    tuple((n, rebuild(s)) for n, s in shape.fields)
+                )
+            return shape
+
+        for name in names:
+            self.assign(name, rebuild(self.lookup(name)))
+
+    def conv_if(self, expr: ast.IfExpr, k, tail: bool) -> ir.Term:
+        branch_changed = assigned_names(expr.then_branch) | (
+            assigned_names(expr.else_branch) if expr.else_branch else set()
+        )
+        cond_changed = sorted(
+            n for n in assigned_names(expr.cond) if self.in_scope(n)
+        )
+        changed = sorted(
+            n
+            for n in (branch_changed | set(cond_changed))
+            if self.in_scope(n)
+        )
+        result_t = getattr(expr, "ty", ty.UNIT)
+        join = self.gensym.fresh("j")
+        result_shape, result_params = self.fresh_shape(
+            result_t if result_t != BOTTOM else ty.UNIT, "v"
+        )
+        snap = self.snapshot()
+
+        # The then/else arms become continuations parameterized over the
+        # variables the *condition* may assign, so that conv_cond's thunks
+        # are cheap jumps and can be duplicated along &&/|| paths.
+        def make_arm(branch_expr: ast.Expr | None) -> tuple[tuple[str, ...], ir.Term]:
+            self.restore(snap)
+            cparams = [
+                self.gensym.fresh(n)
+                for n in cond_changed
+                for _ in data_leaves(self.lookup(n))
+            ]
+            self._rebind_changed(cond_changed, cparams)
+            if branch_expr is None:
+                return tuple(cparams), AppCont(
+                    join, tuple(self._changed_leaves(changed))
+                )
+
+            def finish(shape: Shape) -> ir.Term:
+                args = tuple(data_leaves(shape)) + tuple(
+                    self._changed_leaves(changed)
+                )
+                return AppCont(join, args)
+
+            return tuple(cparams), self.conv(branch_expr, finish, tail)
+
+        then_params, then_body = make_arm(expr.then_branch)
+        else_params, else_body = make_arm(expr.else_branch)
+        then_cont = self.gensym.fresh("kt")
+        else_cont = self.gensym.fresh("kf")
+
+        self.restore(snap)
+        body = self.conv_cond(
+            expr.cond,
+            lambda: AppCont(then_cont, tuple(self._changed_leaves(cond_changed))),
+            lambda: AppCont(else_cont, tuple(self._changed_leaves(cond_changed))),
+        )
+        self.restore(snap)
+        changed_params = [
+            self.gensym.fresh(n)
+            for n in changed
+            for _ in data_leaves(self.lookup(n))
+        ]
+        self._rebind_changed(changed, changed_params)
+        return ir.LetCont(
+            join,
+            tuple(result_params) + tuple(changed_params),
+            k(result_shape),
+            ir.LetCont(
+                then_cont,
+                then_params,
+                then_body,
+                ir.LetCont(else_cont, else_params, else_body, body),
+            ),
+        )
+
+    def conv_while(self, expr: ast.WhileExpr, k) -> ir.Term:
+        changed = sorted(
+            name
+            for name in (assigned_names(expr.body) | assigned_names(expr.cond))
+            if self.in_scope(name)
+        )
+        loop = self.gensym.fresh("loop")
+        done = self.gensym.fresh("done")
+        entry_args = tuple(self._changed_leaves(changed))
+        loop_params = [
+            self.gensym.fresh(n)
+            for n in changed
+            for _ in data_leaves(self.lookup(n))
+        ]
+        snap = self.snapshot()
+        self._rebind_changed(changed, loop_params)
+        loop_snap = self.snapshot()
+
+        # As in conv_if, the loop body and the exit become continuations
+        # parameterized over variables the condition may assign, keeping
+        # conv_cond's thunks duplicable.
+        cond_changed = sorted(
+            n for n in assigned_names(expr.cond) if self.in_scope(n)
+        )
+        body_cont = self.gensym.fresh("kb")
+        self.restore(loop_snap)
+        body_cparams = [
+            self.gensym.fresh(n)
+            for n in cond_changed
+            for _ in data_leaves(self.lookup(n))
+        ]
+        self._rebind_changed(cond_changed, body_cparams)
+
+        def after_body(_shape: Shape) -> ir.Term:
+            return AppCont(loop, tuple(self._changed_leaves(changed)))
+
+        body_term = self.conv(expr.body, after_body)
+
+        self.restore(loop_snap)
+        exit_cparams = [
+            self.gensym.fresh(n)
+            for n in cond_changed
+            for _ in data_leaves(self.lookup(n))
+        ]
+        self._rebind_changed(cond_changed, exit_cparams)
+        exit_args = tuple(self._changed_leaves(changed))
+        exit_cont = self.gensym.fresh("ke")
+
+        self.restore(loop_snap)
+        cond_term = self.conv_cond(
+            expr.cond,
+            lambda: AppCont(body_cont, tuple(self._changed_leaves(cond_changed))),
+            lambda: AppCont(exit_cont, tuple(self._changed_leaves(cond_changed))),
+        )
+        loop_body = ir.LetCont(
+            body_cont,
+            tuple(body_cparams),
+            body_term,
+            ir.LetCont(
+                exit_cont,
+                tuple(exit_cparams),
+                AppCont(done, exit_args),
+                cond_term,
+            ),
+        )
+        self.restore(snap)
+        done_params = [
+            self.gensym.fresh(n)
+            for n in changed
+            for _ in data_leaves(self.lookup(n))
+        ]
+        self._rebind_changed(changed, done_params)
+        return ir.LetCont(
+            loop,
+            tuple(loop_params),
+            loop_body,
+            ir.LetCont(
+                done,
+                tuple(done_params),
+                k(UNIT_SHAPE),
+                AppCont(loop, entry_args),
+            ),
+            recursive=True,
+        )
+
+    def conv_block(self, block: ast.Block, k, tail: bool) -> ir.Term:
+        depth = len(self.scopes)
+        self.push_scope()
+
+        def pop_and(fn):
+            def inner(shape: Shape) -> ir.Term:
+                del self.scopes[depth:]
+                return fn(shape)
+
+            return inner
+
+        def step(index: int) -> ir.Term:
+            if index == len(block.stmts):
+                if block.result is None:
+                    self.pop_scope()
+                    return k(UNIT_SHAPE)
+                return self.conv(block.result, pop_and(k), tail)
+            stmt = block.stmts[index]
+            if isinstance(stmt, ast.FunStmt):
+                self.bind(
+                    stmt.decl.name,
+                    FunShape(stmt.decl, tuple(self.snapshot())),
+                )
+                return step(index + 1)
+            if isinstance(stmt, ast.LetStmt):
+                def bound(shape: Shape) -> ir.Term:
+                    self.bind_pattern(stmt.pat, shape)
+                    return step(index + 1)
+
+                return self.conv(stmt.init, bound)
+            if isinstance(stmt, ast.AssignStmt):
+                def assigned(shape: Shape) -> ir.Term:
+                    self.assign(stmt.name, shape)
+                    return step(index + 1)
+
+                return self.conv(stmt.value, assigned)
+            # Expression statement; a diverging expression ends the block.
+            stmt_ty = getattr(stmt.expr, "ty", ty.UNIT)
+            if stmt_ty == BOTTOM:
+                term = self.conv(stmt.expr, lambda s: Halt(()))
+                self.pop_scope()
+                return term
+            return self.conv(stmt.expr, lambda s: step(index + 1))
+
+        return step(0)
+
+    # -- calls, exceptions -------------------------------------------------------
+
+    def conv_call(self, expr: ast.Call, k) -> ir.Term:
+        # Nested functions shadow top-level ones and inline right here,
+        # converting the body under the declaration-site environment.
+        local = self._try_lookup(expr.fn)
+        if isinstance(local, FunShape):
+            def with_arg_nested(arg_shape: Shape) -> ir.Term:
+                call_env = self.snapshot()
+                self.restore(list(local.env))
+                self.push_scope()
+                self.bind_pattern(local.decl.param, arg_shape)
+
+                def finish(shape: Shape) -> ir.Term:
+                    self.restore(call_env)
+                    return k(shape)
+
+                return self.conv(local.decl.body, finish)
+
+            return self.conv(expr.arg, with_arg_nested)
+
+        sig = self.typed.sigs.get(expr.fn)
+        if sig is None:
+            raise CpsError(f"call to unknown function '{expr.fn}'")
+
+        if expr.fn in self.bool_returns:
+            # Two-continuation callee in value position: rejoin on a
+            # materialized 0/1 (condition positions go through
+            # conv_cond, which wires the continuations directly).
+            def with_arg_bool(arg_shape: Shape) -> ir.Term:
+                data = tuple(data_leaves(arg_shape))
+                exns = tuple(cont_leaves(arg_shape))
+                join = self.gensym.fresh("bj")
+                value = self.gensym.fresh("b")
+                rt = self.gensym.fresh("rt")
+                rf = self.gensym.fresh("rf")
+                return ir.LetCont(
+                    join,
+                    (value,),
+                    k(Leaf(Var(value))),
+                    ir.LetCont(
+                        rt,
+                        (),
+                        AppCont(join, (Const(1),)),
+                        ir.LetCont(
+                            rf,
+                            (),
+                            AppCont(join, (Const(0),)),
+                            AppFun(expr.fn, data, (rt, rf, *exns)),
+                        ),
+                    ),
+                )
+
+            return self.conv(expr.arg, with_arg_bool)
+
+        def with_arg(arg_shape: Shape) -> ir.Term:
+            data = tuple(data_leaves(arg_shape))
+            exns = tuple(cont_leaves(arg_shape))
+            ret = self.gensym.fresh("r")
+            assert sig.ret is not None
+            ret_shape, ret_params = self.fresh_shape(
+                sig.ret if sig.ret != BOTTOM else ty.UNIT, "rv"
+            )
+            return ir.LetCont(
+                ret,
+                tuple(ret_params),
+                k(ret_shape),
+                AppFun(expr.fn, data, (ret, *exns)),
+            )
+
+        return self.conv(expr.arg, with_arg)
+
+    def conv_raise(self, expr: ast.RaiseExpr) -> ir.Term:
+        shape = self.lookup(expr.exn)
+        if not isinstance(shape, ExnShape):
+            raise CpsError(f"'{expr.exn}' is not an exception at conversion")
+
+        def jump(arg_shape: Shape) -> ir.Term:
+            return AppCont(shape.cont, tuple(data_leaves(arg_shape)))
+
+        return self.conv(expr.arg, jump)
+
+    def conv_try(self, expr: ast.TryExpr, k, tail: bool) -> ir.Term:
+        result_t = getattr(expr, "ty", ty.UNIT)
+        join = self.gensym.fresh("j")
+        result_shape, result_params = self.fresh_shape(
+            result_t if result_t != BOTTOM else ty.UNIT, "v"
+        )
+        changed = sorted(
+            name
+            for name in set().union(
+                *[assigned_names(h.body) for h in expr.handlers], set()
+            )
+            if self.in_scope(name)
+        )
+        snap = self.snapshot()
+
+        def to_join(shape: Shape) -> ir.Term:
+            args = tuple(data_leaves(shape)) + tuple(self._changed_leaves(changed))
+            return AppCont(join, args)
+
+        # Convert handler bodies (env as of try entry).
+        handler_conts: list[tuple[str, tuple[str, ...], ir.Term]] = []
+        handler_names: dict[str, str] = {}
+        for handler in expr.handlers:
+            cont_name = self.gensym.fresh(f"h_{handler.exn}")
+            handler_names[handler.exn] = cont_name
+            self.restore(snap)
+            self.push_scope()
+            arg_t = self._handler_arg_type(handler)
+            arg_shape, arg_params = self.fresh_shape(arg_t, "x")
+            self.bind_pattern(handler.pat, arg_shape)
+            hbody = self.conv(handler.body, to_join, tail)
+            self.pop_scope()
+            handler_conts.append((cont_name, tuple(arg_params), hbody))
+
+        # Convert the try body with handler names in scope.
+        self.restore(snap)
+        self.push_scope()
+        for handler in expr.handlers:
+            self.bind(handler.exn, ExnShape(handler_names[handler.exn]))
+        body = self.conv(expr.body, to_join, tail)
+        self.pop_scope()
+
+        for cont_name, params, hbody in reversed(handler_conts):
+            body = ir.LetCont(cont_name, params, hbody, body)
+
+        self.restore(snap)
+        changed_params = [
+            self.gensym.fresh(n)
+            for n in changed
+            for _ in data_leaves(self.lookup(n))
+        ]
+        self._rebind_changed(changed, changed_params)
+        return ir.LetCont(
+            join,
+            tuple(result_params) + tuple(changed_params),
+            k(result_shape),
+            body,
+        )
+
+    def _handler_arg_type(self, handler: ast.Handler) -> ty.Type:
+        # Recompute the handler argument type the same way the checker did.
+        from repro.nova.typecheck import _Checker
+
+        checker = _Checker(self.typed.program)
+        checker.layout_env = self.typed.layout_env
+        return checker.pattern_type(handler.pat)
+
+    # -- memory and layouts -------------------------------------------------------
+
+    def conv_mem_read(self, expr: ast.MemRead, k) -> ir.Term:
+        count = expr.count or 1
+
+        def with_addr(addr_shape: Shape) -> ir.Term:
+            names = tuple(self.gensym.fresh("m") for _ in range(count))
+            leaves = tuple(Leaf(Var(n)) for n in names)
+            shape: Shape = leaves[0] if count == 1 else TupleShape(leaves)
+            return ir.MemRead(
+                names, expr.space, self._leaf_atom(addr_shape), k(shape)
+            )
+
+        return self.conv(expr.addr, with_addr)
+
+    def conv_mem_write(self, expr: ast.MemWrite, k) -> ir.Term:
+        def with_addr(addr_shape: Shape) -> ir.Term:
+            addr = self._leaf_atom(addr_shape)
+
+            def with_value(value_shape: Shape) -> ir.Term:
+                atoms = tuple(data_leaves(value_shape))
+                return ir.MemWrite(expr.space, addr, atoms, k(UNIT_SHAPE))
+
+            return self.conv(expr.value, with_value)
+
+        return self.conv(expr.addr, with_addr)
+
+    def conv_unpack(self, expr: ast.UnpackExpr, k) -> ir.Term:
+        layout: lay.Layout = expr.resolved_layout
+
+        def with_packed(shape: Shape) -> ir.Term:
+            words = data_leaves(shape)
+            prefix: list[ir.Term] = []  # built via nesting below
+
+            path_atoms: dict[tuple[str, ...], Atom] = {}
+            chain: list[Callable[[ir.Term], ir.Term]] = []
+            for leaf in lay.leaf_fields(layout):
+                recipe = lay.extract_recipe(leaf)
+                atom, steps = self._emit_extract(words, recipe)
+                path_atoms[leaf.path] = atom
+                chain.extend(steps)
+            result = self._shape_from_type(
+                ty.unpacked_type(layout), path_atoms, ()
+            )
+            term = k(result)
+            for step in reversed(chain):
+                term = step(term)
+            del prefix
+            return term
+
+        return self.conv(expr.arg, with_packed)
+
+    def _emit_extract(
+        self, words: list[Atom], recipe: lay.ExtractRecipe
+    ) -> tuple[Atom, list[Callable[[ir.Term], ir.Term]]]:
+        """Plan the ALU ops computing one field; returns (atom, steps)."""
+        steps: list[Callable[[ir.Term], ir.Term]] = []
+
+        def emit(op: str, args: tuple[Atom, ...]) -> Atom:
+            dst = self.gensym.fresh("f")
+            steps.append(
+                lambda body, dst=dst, op=op, args=args: ir.LetPrim(
+                    dst, op, args, body
+                )
+            )
+            return Var(dst)
+
+        part_atoms: list[Atom] = []
+        for part in recipe.parts:
+            atom = words[part.index]
+            covered = 32 - part.right_shift  # bits surviving the shift
+            if part.right_shift:
+                atom = emit("shr", (atom, Const(part.right_shift)))
+            if part.mask != (1 << covered) - 1:
+                atom = emit("and", (atom, Const(part.mask)))
+            if part.left_shift:
+                atom = emit("shl", (atom, Const(part.left_shift)))
+            part_atoms.append(atom)
+        result = part_atoms[0]
+        for other in part_atoms[1:]:
+            result = emit("or", (result, other))
+        return result, steps
+
+    def _shape_from_type(
+        self,
+        t: ty.Type,
+        path_atoms: dict[tuple[str, ...], Atom],
+        prefix: tuple[str, ...],
+    ) -> Shape:
+        if isinstance(t, (ty.Word, ty.Bool)):
+            return Leaf(path_atoms[prefix])
+        if isinstance(t, ty.Unit):
+            return UNIT_SHAPE
+        if isinstance(t, ty.Tuple):
+            return TupleShape(
+                tuple(
+                    self._shape_from_type(e, path_atoms, prefix + (str(i),))
+                    for i, e in enumerate(t.elems)
+                )
+            )
+        if isinstance(t, ty.Record):
+            return RecordShape(
+                tuple(
+                    (n, self._shape_from_type(s, path_atoms, prefix + (n,)))
+                    for n, s in t.fields
+                )
+            )
+        raise CpsError(f"unhandled unpacked type {t}")
+
+    def conv_pack(self, expr: ast.PackExpr, k) -> ir.Term:
+        layout: lay.Layout = expr.resolved_layout
+        chosen: dict[tuple[str, ...], str] = getattr(expr, "chosen_alts", {})
+        n_words = lay.packed_words(layout)
+
+        def with_arg(arg_shape: Shape) -> ir.Term:
+            values = _shape_path_map(arg_shape)
+            steps: list[Callable[[ir.Term], ir.Term]] = []
+
+            def emit(op: str, args: tuple[Atom, ...]) -> Atom:
+                dst = self.gensym.fresh("w")
+                steps.append(
+                    lambda body, dst=dst, op=op, args=args: ir.LetPrim(
+                        dst, op, args, body
+                    )
+                )
+                return Var(dst)
+
+            word_atoms: list[Atom] = [Const(0)] * n_words
+            for leaf in lay.leaf_fields(layout):
+                if not _leaf_selected(leaf.path, chosen):
+                    continue
+                value = values.get(leaf.path)
+                if value is None:
+                    raise CpsError(
+                        f"pack: missing field {'.'.join(leaf.path)}"
+                    )
+                for part in lay.deposit_recipe(leaf).parts:
+                    atom = value
+                    if part.value_shift:
+                        atom = emit("shr", (atom, Const(part.value_shift)))
+                    # Mask unless the subsequent shift would discard the
+                    # high bits anyway; always safe to mask.
+                    atom = emit("and", (atom, Const(part.mask)))
+                    if part.word_shift:
+                        atom = emit("shl", (atom, Const(part.word_shift)))
+                    current = word_atoms[part.index]
+                    if current == Const(0):
+                        word_atoms[part.index] = atom
+                    else:
+                        word_atoms[part.index] = emit("or", (current, atom))
+            shape: Shape = (
+                Leaf(word_atoms[0])
+                if n_words == 1
+                else TupleShape(tuple(Leaf(a) for a in word_atoms))
+            )
+            term = k(shape)
+            for step in reversed(steps):
+                term = step(term)
+            return term
+
+        return self.conv(expr.arg, with_arg)
+
+
+def _leaf_selected(
+    path: tuple[str, ...], chosen: dict[tuple[str, ...], str]
+) -> bool:
+    for prefix, alt in chosen.items():
+        if path[: len(prefix)] == prefix and len(path) > len(prefix):
+            if path[len(prefix)] != alt:
+                return False
+    return True
+
+
+def cps_convert(typed: TypedProgram) -> CpsProgram:
+    """Convert a type-checked Nova program to CPS."""
+    return _Converter(typed).run()

@@ -1,0 +1,165 @@
+"""De-proceduralization (paper Section 4.3).
+
+The ILP back end handles one flowgraph, not general interprocedural
+allocation, so the compiler "fully inlines all procedure calls in
+non-tail position".  Recursive *tail* calls do not need inlining: Nova's
+type system restricts recursion to tail position, and a tail call is just
+a goto (Section 3.4) — so a (mutually) recursive function instantiated at
+a call site becomes a *recursive continuation*.
+
+The algorithm walks the entry function's body; each ``AppFun(f, args,
+conts)`` is replaced by a jump to a continuation holding ``f``'s body.
+Instantiations are memoized per (function, continuation-vector), so
+recursive tail calls (which pass the same continuations) hit the memo and
+become back edges; non-tail calls have a fresh return continuation and
+therefore produce a fresh inlined copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CpsError
+from repro.cps import ir
+from repro.cps.convert import CpsProgram
+
+# Backstop against pathological programs that keep manufacturing fresh
+# continuation vectors through recursion.
+MAX_INSTANCES = 20_000
+
+
+@dataclass
+class FirstOrderProgram:
+    """A whole program as one continuation-only CPS term.
+
+    ``params`` are the entry function's data parameters (the program's
+    inputs, e.g. the packet base address); the term ends in
+    :class:`repro.cps.ir.Halt` carrying the entry function's results.
+    """
+
+    params: tuple[str, ...]
+    term: ir.Term
+    gensym: ir.Gensym
+
+
+def deproceduralize(prog: CpsProgram) -> FirstOrderProgram:
+    """Inline every function call, yielding a first-order CPS program."""
+    from repro.cps.optimize import eta_reduce_conts
+
+    gensym = prog.gensym
+    # Eta-reduce first so that a tail call's freshly-wrapped return
+    # continuation collapses onto the caller's own continuation; only
+    # then do recursive tail calls carry identical continuation vectors
+    # and hit the instantiation memo (becoming loops instead of
+    # unbounded inlining).
+    prog = CpsProgram(
+        {
+            name: ir.FunDef(
+                f.name, f.params, f.conts, eta_reduce_conts(f.body)
+            )
+            for name, f in prog.funs.items()
+        },
+        prog.entry,
+        prog.gensym,
+        prog.param_names,
+    )
+    entry = prog.funs[prog.entry]
+    if len(entry.conts) != 1:
+        raise CpsError(
+            f"entry function '{prog.entry}' must not take exception "
+            "parameters"
+        )
+    instances = [0]
+
+    def instantiate(
+        fun: ir.FunDef, conts: tuple[str, ...]
+    ) -> tuple[tuple[str, ...], ir.Term]:
+        """Fresh copy of ``fun``'s body wired to the given continuations."""
+        instances[0] += 1
+        if instances[0] > MAX_INSTANCES:
+            raise CpsError(
+                "inlining exploded (more than "
+                f"{MAX_INSTANCES} instantiations); is a recursive call "
+                "passing ever-fresh handlers?"
+            )
+        if len(conts) != len(fun.conts):
+            raise CpsError(
+                f"call to '{fun.name}' passes {len(conts)} continuations, "
+                f"expected {len(fun.conts)}"
+            )
+        body = ir.substitute_conts(fun.body, dict(zip(fun.conts, conts)))
+        fresh_params = tuple(gensym.fresh(p.split(".")[0]) for p in fun.params)
+        body = ir.substitute(
+            body,
+            {p: ir.Var(fp) for p, fp in zip(fun.params, fresh_params)},
+        )
+        body = ir.rename_binders(body, gensym)
+        return fresh_params, body
+
+    def walk(term: ir.Term, memo: dict[tuple[str, tuple[str, ...]], str]) -> ir.Term:
+        if isinstance(term, ir.AppFun):
+            key = (term.name, term.conts)
+            if key in memo:
+                return ir.AppCont(memo[key], term.args)
+            fun = prog.funs.get(term.name)
+            if fun is None:
+                raise CpsError(f"call to unknown function '{term.name}'")
+            cont_name = gensym.fresh(f"fn_{term.name}")
+            inner_memo = dict(memo)
+            inner_memo[key] = cont_name
+            params, body = instantiate(fun, term.conts)
+            kbody = walk(body, inner_memo)
+            return ir.LetCont(
+                cont_name,
+                params,
+                kbody,
+                ir.AppCont(cont_name, term.args),
+                recursive=True,
+            )
+        if isinstance(term, ir.LetFun):
+            raise CpsError("nested function definitions are not supported")
+        if isinstance(term, ir.LetCont):
+            return ir.LetCont(
+                term.name,
+                term.params,
+                walk(term.kbody, memo),
+                walk(term.body, memo),
+                term.recursive,
+            )
+        if isinstance(term, ir.If):
+            return ir.If(
+                term.cmp,
+                term.left,
+                term.right,
+                walk(term.then_term, memo),
+                walk(term.else_term, memo),
+            )
+        return ir.map_body(term, lambda t: walk(t, memo))
+
+    ret_cont = entry.conts[0]
+    body = walk(entry.body, {})
+    body = _halt_on(body, ret_cont)
+    _assert_first_order(body)
+    return FirstOrderProgram(entry.params, body, gensym)
+
+
+def _halt_on(term: ir.Term, ret_cont: str) -> ir.Term:
+    """Turn jumps to the entry's return continuation into Halt."""
+
+    def walk(t: ir.Term) -> ir.Term:
+        if isinstance(t, ir.AppCont) and t.name == ret_cont:
+            return ir.Halt(t.args)
+        if isinstance(t, ir.LetCont):
+            return ir.LetCont(t.name, t.params, walk(t.kbody), walk(t.body), t.recursive)
+        if isinstance(t, ir.If):
+            return ir.If(t.cmp, t.left, t.right, walk(t.then_term), walk(t.else_term))
+        return ir.map_body(t, walk)
+
+    return walk(term)
+
+
+def _assert_first_order(term: ir.Term) -> None:
+    if isinstance(term, (ir.AppFun, ir.LetFun)):
+        raise CpsError("de-proceduralization left a function construct")
+    for child in ir.subterms(term):
+        _assert_first_order(child)

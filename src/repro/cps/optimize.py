@@ -1,0 +1,563 @@
+"""CPS optimization passes (paper Section 4.4).
+
+Implemented, mirroring the paper's list:
+
+- constant folding and global constant/copy propagation (with local value
+  numbering, which subsumes "local value propagation"),
+- eta reduction of continuations,
+- simple contractions: inlining of called-once continuations (function
+  inlining proper happens in :mod:`repro.cps.deproc`),
+- useless-variable elimination and dead-code elimination,
+- trimming of memory reads (dead leading/trailing aggregate members are
+  cut off, shrinking the transfer-register footprint),
+- useless/invariant continuation-parameter elimination (this is what
+  makes flattened records and ``unpack`` free when fields are unused),
+- branch simplification (constant conditions, identical arms).
+
+All passes operate on the first-order (post-deproceduralization) program;
+they preserve the unique-binder/SSA invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cps import ir
+from repro.cps.ir import AppCont, Const, Halt, If, Var
+
+WORD_MASK = 0xFFFFFFFF
+
+
+def _fold(op: str, values: list[int]) -> int | None:
+    """Evaluate a primitive over constants; must match the simulator."""
+    if op == "add":
+        return (values[0] + values[1]) & WORD_MASK
+    if op == "sub":
+        return (values[0] - values[1]) & WORD_MASK
+    if op == "mul":
+        return (values[0] * values[1]) & WORD_MASK
+    if op == "div":
+        return None if values[1] == 0 else (values[0] // values[1]) & WORD_MASK
+    if op == "mod":
+        return None if values[1] == 0 else (values[0] % values[1]) & WORD_MASK
+    if op == "and":
+        return values[0] & values[1]
+    if op == "or":
+        return values[0] | values[1]
+    if op == "xor":
+        return values[0] ^ values[1]
+    if op == "shl":
+        return (values[0] << (values[1] & 31)) & WORD_MASK
+    if op == "shr":
+        return (values[0] & WORD_MASK) >> (values[1] & 31)
+    if op == "not":
+        return ~values[0] & WORD_MASK
+    if op == "neg":
+        return -values[0] & WORD_MASK
+    return None
+
+
+def _cmp(op: str, a: int, b: int) -> bool:
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    if op == "ge":
+        return a >= b
+    raise ValueError(op)
+
+
+@dataclass
+class OptStats:
+    """Counts of simplifications performed (reported by the driver)."""
+
+    folded: int = 0
+    copies_propagated: int = 0
+    cse_hits: int = 0
+    dead_removed: int = 0
+    reads_trimmed: int = 0
+    conts_inlined: int = 0
+    conts_eta: int = 0
+    params_pruned: int = 0
+    branches_simplified: int = 0
+    rounds: int = 0
+
+    def total(self) -> int:
+        return (
+            self.folded
+            + self.copies_propagated
+            + self.cse_hits
+            + self.dead_removed
+            + self.reads_trimmed
+            + self.conts_inlined
+            + self.conts_eta
+            + self.params_pruned
+            + self.branches_simplified
+        )
+
+
+# --------------------------------------------------------------------------
+# Pass 1: constant folding + copy propagation + local value numbering
+# --------------------------------------------------------------------------
+
+
+def simplify(term: ir.Term, stats: OptStats) -> ir.Term:
+    def resolve(atom: ir.Atom, env: dict[str, ir.Atom]) -> ir.Atom:
+        while isinstance(atom, Var) and atom.name in env:
+            atom = env[atom.name]
+        return atom
+
+    def walk(
+        t: ir.Term,
+        env: dict[str, ir.Atom],
+        value_numbers: dict[tuple, str],
+    ) -> ir.Term:
+        if isinstance(t, ir.LetVal):
+            atom = resolve(t.atom, env)
+            env = dict(env)
+            env[t.var] = atom
+            stats.copies_propagated += 1
+            return walk(t.body, env, value_numbers)
+        if isinstance(t, ir.LetPrim):
+            args = tuple(resolve(a, env) for a in t.args)
+            folded = _try_fold(t.op, args, stats)
+            if folded is not None:
+                env = dict(env)
+                env[t.var] = folded
+                return walk(t.body, env, value_numbers)
+            key = (t.op, args)
+            if key in value_numbers:
+                env = dict(env)
+                env[t.var] = Var(value_numbers[key])
+                stats.cse_hits += 1
+                return walk(t.body, env, value_numbers)
+            value_numbers = dict(value_numbers)
+            value_numbers[key] = t.var
+            return ir.LetPrim(t.var, t.op, args, walk(t.body, env, value_numbers))
+        if isinstance(t, ir.MemRead):
+            addr = resolve(t.addr, env)
+            return ir.MemRead(t.vars, t.space, addr, walk(t.body, env, value_numbers))
+        if isinstance(t, ir.MemWrite):
+            addr = resolve(t.addr, env)
+            atoms = tuple(resolve(a, env) for a in t.atoms)
+            return ir.MemWrite(t.space, addr, atoms, walk(t.body, env, value_numbers))
+        if isinstance(t, ir.LetClone):
+            source = resolve(Var(t.source), env)
+            if isinstance(source, Const):
+                env = dict(env)
+                env[t.var] = source
+                stats.copies_propagated += 1
+                return walk(t.body, env, value_numbers)
+            return ir.LetClone(
+                t.var, source.name, walk(t.body, env, value_numbers)
+            )
+        if isinstance(t, ir.Special):
+            args = tuple(resolve(a, env) for a in t.args)
+            return ir.Special(t.var, t.op, args, walk(t.body, env, value_numbers))
+        if isinstance(t, ir.LetCont):
+            # Lexical scope is dominance in CPS, so env and value numbers
+            # remain valid inside the continuation body.
+            return ir.LetCont(
+                t.name,
+                t.params,
+                walk(t.kbody, env, value_numbers),
+                walk(t.body, env, value_numbers),
+                t.recursive,
+            )
+        if isinstance(t, AppCont):
+            return AppCont(t.name, tuple(resolve(a, env) for a in t.args))
+        if isinstance(t, If):
+            left = resolve(t.left, env)
+            right = resolve(t.right, env)
+            if isinstance(left, Const) and isinstance(right, Const):
+                stats.branches_simplified += 1
+                chosen = (
+                    t.then_term if _cmp(t.cmp, left.value, right.value) else t.else_term
+                )
+                return walk(chosen, env, value_numbers)
+            return If(
+                t.cmp,
+                left,
+                right,
+                walk(t.then_term, env, value_numbers),
+                walk(t.else_term, env, value_numbers),
+            )
+        if isinstance(t, Halt):
+            return Halt(tuple(resolve(a, env) for a in t.atoms))
+        raise TypeError(f"unhandled term {type(t).__name__}")
+
+    return walk(term, {}, {})
+
+
+def _try_fold(op: str, args: tuple[ir.Atom, ...], stats: OptStats) -> ir.Atom | None:
+    """Return a replacement atom if the primitive simplifies away."""
+    if all(isinstance(a, Const) for a in args):
+        value = _fold(op, [a.value for a in args])  # type: ignore[union-attr]
+        if value is not None:
+            stats.folded += 1
+            return Const(value)
+        return None
+    if len(args) != 2:
+        return None
+    a, b = args
+    # Algebraic identities (word semantics).
+    if isinstance(b, Const):
+        if b.value == 0 and op in ("add", "sub", "or", "xor", "shl", "shr"):
+            stats.folded += 1
+            return a
+        if b.value == 0 and op in ("and", "mul"):
+            stats.folded += 1
+            return Const(0)
+        if b.value == WORD_MASK and op == "and":
+            stats.folded += 1
+            return a
+        if b.value == 1 and op in ("mul", "div"):
+            stats.folded += 1
+            return a
+    if isinstance(a, Const):
+        if a.value == 0 and op in ("add", "or", "xor"):
+            stats.folded += 1
+            return b
+        if a.value == 0 and op in ("and", "mul", "shl", "shr"):
+            stats.folded += 1
+            return Const(0)
+        if a.value == WORD_MASK and op == "and":
+            stats.folded += 1
+            return b
+    if op == "xor" and a == b:
+        stats.folded += 1
+        return Const(0)
+    if op == "sub" and a == b:
+        stats.folded += 1
+        return Const(0)
+    if op in ("and", "or") and a == b:
+        stats.folded += 1
+        return a
+    return None
+
+
+# --------------------------------------------------------------------------
+# Pass 2: dead-code / useless-variable elimination + memory-read trimming
+# --------------------------------------------------------------------------
+
+
+def eliminate_dead(term: ir.Term, stats: OptStats) -> ir.Term:
+    counts = ir.count_occurrences(term)
+    cont_uses = _count_cont_uses(term)
+
+    def walk(t: ir.Term) -> ir.Term:
+        if isinstance(t, ir.LetVal) and counts.get(t.var, 0) == 0:
+            stats.dead_removed += 1
+            return walk(t.body)
+        if isinstance(t, ir.LetPrim) and counts.get(t.var, 0) == 0:
+            stats.dead_removed += 1
+            return walk(t.body)
+        if isinstance(t, ir.LetClone) and counts.get(t.var, 0) == 0:
+            stats.dead_removed += 1
+            return walk(t.body)
+        if (
+            isinstance(t, ir.Special)
+            and t.op in ir.PURE_SPECIALS
+            and (t.var is None or counts.get(t.var, 0) == 0)
+        ):
+            stats.dead_removed += 1
+            return walk(t.body)
+        if isinstance(t, ir.MemRead):
+            return walk_mem_read(t)
+        if isinstance(t, ir.LetCont) and cont_uses.get(t.name, 0) == 0:
+            stats.dead_removed += 1
+            return walk(t.body)
+        return ir.map_body(t, walk)
+
+    def walk_mem_read(t: ir.MemRead) -> ir.Term:
+        live = [counts.get(v, 0) > 0 for v in t.vars]
+        if not any(live):
+            stats.reads_trimmed += 1
+            return walk(t.body)
+        step = 2 if t.space == "sdram" else 1
+        lead = 0
+        while lead + step <= len(t.vars) and not any(live[lead : lead + step]):
+            lead += step
+        trail = len(t.vars)
+        while trail - step >= lead and not any(live[trail - step : trail]):
+            trail -= step
+        if lead == 0 and trail == len(t.vars):
+            return ir.MemRead(t.vars, t.space, t.addr, walk(t.body))
+        stats.reads_trimmed += 1
+        new_vars = t.vars[lead:trail]
+        addr = t.addr
+        if lead:
+            if isinstance(addr, Const):
+                addr = Const((addr.value + lead) & WORD_MASK)
+            else:
+                # Folding the offset needs a named addition; introduce it.
+                bump = f"{t.vars[lead]}.addr"
+                body = ir.MemRead(new_vars, t.space, Var(bump), walk(t.body))
+                return ir.LetPrim(bump, "add", (addr, Const(lead)), body)
+        return ir.MemRead(new_vars, t.space, addr, walk(t.body))
+
+    return walk(term)
+
+
+def _count_cont_uses(term: ir.Term) -> dict[str, int]:
+    counts: dict[str, int] = {}
+
+    def walk(t: ir.Term) -> None:
+        if isinstance(t, AppCont):
+            counts[t.name] = counts.get(t.name, 0) + 1
+        for child in ir.subterms(t):
+            walk(child)
+
+    walk(term)
+    return counts
+
+
+# --------------------------------------------------------------------------
+# Pass 3: continuation simplification (eta, beta for called-once, params)
+# --------------------------------------------------------------------------
+
+
+def simplify_conts(term: ir.Term, stats: OptStats) -> ir.Term:
+    term = _eta_reduce(term, stats)
+    term = _prune_params(term, stats)
+    term = _inline_called_once(term, stats)
+    return term
+
+
+def _eta_reduce(term: ir.Term, stats: OptStats) -> ir.Term:
+    """``letcont k(xs) = j(xs)`` — replace k by j everywhere.
+
+    Works in two phases (collect, then rewrite) because a jump to k may
+    occur *before* k's definition in tree order (loop exits)."""
+    mapping: dict[str, str] = {}
+
+    def collect(t: ir.Term) -> None:
+        if isinstance(t, ir.LetCont):
+            if (
+                isinstance(t.kbody, AppCont)
+                and t.kbody.name != t.name
+                and tuple(t.kbody.args) == tuple(Var(p) for p in t.params)
+            ):
+                mapping[t.name] = t.kbody.name
+        for child in ir.subterms(t):
+            collect(child)
+
+    collect(term)
+
+    # Resolve chains, dropping any cycles (mutually-eta continuations
+    # are dead loops; leave them for DCE).
+    resolved: dict[str, str] = {}
+    for name in list(mapping):
+        seen = {name}
+        target = mapping[name]
+        while target in mapping:
+            if target in seen:
+                target = None
+                break
+            seen.add(target)
+            target = mapping[target]
+        if target is None:
+            continue
+        resolved[name] = target
+    if not resolved:
+        return term
+    stats.conts_eta += len(resolved)
+
+    def walk(t: ir.Term) -> ir.Term:
+        if isinstance(t, ir.LetCont):
+            if t.name in resolved:
+                return walk(t.body)
+            return ir.LetCont(t.name, t.params, walk(t.kbody), walk(t.body), t.recursive)
+        if isinstance(t, AppCont):
+            return AppCont(resolved.get(t.name, t.name), t.args)
+        if isinstance(t, ir.AppFun):
+            return ir.AppFun(
+                t.name, t.args, tuple(resolved.get(c, c) for c in t.conts)
+            )
+        if isinstance(t, If):
+            return If(t.cmp, t.left, t.right, walk(t.then_term), walk(t.else_term))
+        return ir.map_body(t, walk)
+
+    return walk(term)
+
+
+def eta_reduce_conts(term: ir.Term) -> ir.Term:
+    """Public eta reduction (used by deproc so that tail self-calls pass
+    the *same* return continuation and hit the instantiation memo)."""
+    return _eta_reduce(term, OptStats())
+
+
+def _collect_cont_calls(term: ir.Term) -> dict[str, list[AppCont]]:
+    calls: dict[str, list[AppCont]] = {}
+
+    def walk(t: ir.Term) -> None:
+        if isinstance(t, AppCont):
+            calls.setdefault(t.name, []).append(t)
+        for child in ir.subterms(t):
+            walk(child)
+
+    walk(term)
+    return calls
+
+
+def _prune_params(term: ir.Term, stats: OptStats) -> ir.Term:
+    """Drop unused and invariant continuation parameters.
+
+    A parameter is *invariant* if every call passes the same atom (a
+    recursive call may also pass the parameter itself); it is then
+    substituted away.  This is what removes the conservative join/loop
+    parameters created by conversion and the unused fields of unpacked
+    records.
+    """
+    calls = _collect_cont_calls(term)
+    defs: dict[str, ir.LetCont] = {}
+
+    def collect(t: ir.Term) -> None:
+        if isinstance(t, ir.LetCont):
+            defs[t.name] = t
+        for child in ir.subterms(t):
+            collect(child)
+
+    collect(term)
+
+    keep: dict[str, list[bool]] = {}
+    substitution: dict[str, ir.Atom] = {}
+    counts = ir.count_occurrences(term)
+    for name, let in defs.items():
+        sites = calls.get(name, [])
+        flags: list[bool] = []
+        for index, param in enumerate(let.params):
+            used = counts.get(param, 0) > 0
+            if not used:
+                flags.append(False)
+                stats.params_pruned += 1
+                continue
+            invariant: ir.Atom | None = None
+            ok = bool(sites)
+            for site in sites:
+                if index >= len(site.args):
+                    ok = False
+                    break
+                arg = site.args[index]
+                if arg == Var(param):
+                    continue  # self-carry on a back edge
+                if isinstance(arg, Var) and arg.name in substitution:
+                    arg = substitution[arg.name]
+                if invariant is None:
+                    invariant = arg
+                elif invariant != arg:
+                    ok = False
+                    break
+            if ok and invariant is not None and _in_scope_everywhere(invariant):
+                substitution[param] = invariant
+                flags.append(False)
+                stats.params_pruned += 1
+            else:
+                flags.append(True)
+        keep[name] = flags
+
+    if all(all(f) for f in keep.values()) and not substitution:
+        return term
+
+    def walk(t: ir.Term) -> ir.Term:
+        if isinstance(t, ir.LetCont):
+            flags = keep.get(t.name)
+            params = (
+                tuple(p for p, f in zip(t.params, flags) if f)
+                if flags
+                else t.params
+            )
+            return ir.LetCont(t.name, params, walk(t.kbody), walk(t.body), t.recursive)
+        if isinstance(t, AppCont):
+            flags = keep.get(t.name)
+            if flags and len(flags) == len(t.args):
+                args = tuple(a for a, f in zip(t.args, flags) if f)
+                return AppCont(t.name, args)
+            return t
+        if isinstance(t, If):
+            return If(t.cmp, t.left, t.right, walk(t.then_term), walk(t.else_term))
+        return ir.map_body(t, walk)
+
+    return ir.substitute(walk(term), substitution)
+
+
+def _in_scope_everywhere(atom: ir.Atom) -> bool:
+    # Constants are trivially safe.  Variables are safe too: an invariant
+    # variable is passed at *every* call site, so its definition dominates
+    # every jump to the continuation, and downstream phases (liveness,
+    # flowgraph construction) are dataflow-based rather than tree-scoped.
+    return True
+
+
+def _inline_called_once(term: ir.Term, stats: OptStats) -> ir.Term:
+    calls = _count_cont_uses(term)
+
+    def walk(t: ir.Term) -> ir.Term:
+        if isinstance(t, ir.LetCont) and not t.recursive and calls.get(t.name, 0) == 1:
+            kbody = t.kbody
+            body = walk(t.body)
+            inlined = [False]
+
+            def splice(u: ir.Term) -> ir.Term:
+                if isinstance(u, AppCont) and u.name == t.name:
+                    inlined[0] = True
+                    mapping = {
+                        p: a for p, a in zip(t.params, u.args)
+                    }
+                    return walk(ir.substitute(kbody, mapping))
+                if isinstance(u, ir.LetCont):
+                    return ir.LetCont(
+                        u.name, u.params, splice(u.kbody), splice(u.body), u.recursive
+                    )
+                if isinstance(u, If):
+                    return If(
+                        u.cmp, u.left, u.right, splice(u.then_term), splice(u.else_term)
+                    )
+                return ir.map_body(u, splice)
+
+            new_body = splice(body)
+            if inlined[0]:
+                stats.conts_inlined += 1
+                return new_body
+            # The single call site sits inside kbody itself (dead loop);
+            # keep the letcont, DCE will handle it if truly dead.
+            return ir.LetCont(t.name, t.params, walk(kbody), new_body, t.recursive)
+        if isinstance(t, ir.LetCont):
+            return ir.LetCont(t.name, t.params, walk(t.kbody), walk(t.body), t.recursive)
+        if isinstance(t, If):
+            return If(t.cmp, t.left, t.right, walk(t.then_term), walk(t.else_term))
+        return ir.map_body(t, walk)
+
+    return walk(term)
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class OptimizeResult:
+    term: ir.Term
+    stats: OptStats = field(default_factory=OptStats)
+
+
+def optimize(term: ir.Term, max_rounds: int = 12) -> OptimizeResult:
+    """Run all passes to a fixpoint (bounded by ``max_rounds``)."""
+    stats = OptStats()
+    for _ in range(max_rounds):
+        before = stats.total()
+        term = simplify(term, stats)
+        term = simplify_conts(term, stats)
+        term = eliminate_dead(term, stats)
+        stats.rounds += 1
+        if stats.total() == before:
+            break
+    ir.check_unique_binders(term)
+    return OptimizeResult(term, stats)

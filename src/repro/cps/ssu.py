@@ -1,0 +1,130 @@
+"""Static single use (SSU) transform (paper Sections 4.5 and 10).
+
+SSA guarantees that no variable is the target of two different memory
+*reads*; the dual problem arises for memory *writes*: two stores placing
+the same variable at different aggregate positions would impose
+contradictory transfer-register colors.  SSU restores solvability: after
+this pass, any use of a variable as a memory-write operand is the *only*
+use of that variable in the whole program.
+
+The transform inserts ``clone`` instructions right after the original
+definition.  A clone is semantically a copy, but the ILP model treats
+clones specially (they do not interfere with each other, and a set of
+mutual clones moving together is counted once), so a clone only becomes a
+physical copy when the solver decides the duplication pays for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cps import ir
+from repro.cps.deproc import FirstOrderProgram
+from repro.cps.ir import Var
+
+
+@dataclass
+class SsuStats:
+    clones_inserted: int = 0
+    writes_rewritten: int = 0
+
+
+def to_ssu(prog: FirstOrderProgram) -> tuple[FirstOrderProgram, SsuStats]:
+    """Bring a first-order program into static single use form."""
+    term = prog.term
+    gensym = prog.gensym
+    stats = SsuStats()
+    uses = ir.count_occurrences(term)
+
+    # Plan: for every memory-write operand position holding a variable
+    # with more than one total use, allocate a clone dedicated to that
+    # position.  clone_plan maps the original variable to the clones that
+    # must be created right after its definition.
+    clone_plan: dict[str, list[str]] = {}
+
+    def rewrite_writes(t: ir.Term) -> ir.Term:
+        if isinstance(t, ir.MemWrite):
+            new_atoms: list[ir.Atom] = []
+            rewrote = False
+            for atom in t.atoms:
+                if isinstance(atom, Var) and uses.get(atom.name, 0) > 1:
+                    clone = gensym.fresh(f"{atom.name.split('.')[0]}_c")
+                    clone_plan.setdefault(atom.name, []).append(clone)
+                    new_atoms.append(Var(clone))
+                    rewrote = True
+                else:
+                    new_atoms.append(atom)
+            if rewrote:
+                stats.writes_rewritten += 1
+            return ir.MemWrite(
+                t.space, t.addr, tuple(new_atoms), rewrite_writes(t.body)
+            )
+        if isinstance(t, ir.LetCont):
+            return ir.LetCont(
+                t.name,
+                t.params,
+                rewrite_writes(t.kbody),
+                rewrite_writes(t.body),
+                t.recursive,
+            )
+        if isinstance(t, ir.If):
+            return ir.If(
+                t.cmp,
+                t.left,
+                t.right,
+                rewrite_writes(t.then_term),
+                rewrite_writes(t.else_term),
+            )
+        return ir.map_body(t, rewrite_writes)
+
+    term = rewrite_writes(term)
+
+    def clones_for(names: list[str], body: ir.Term) -> ir.Term:
+        for name in names:
+            for clone in clone_plan.get(name, ()):
+                body = ir.LetClone(clone, name, body)
+                stats.clones_inserted += 1
+        return body
+
+    def insert_clones(t: ir.Term) -> ir.Term:
+        defined = ir.vars_defined(t)
+        if isinstance(t, ir.LetCont):
+            kbody = clones_for(list(t.params), insert_clones(t.kbody))
+            return ir.LetCont(t.name, t.params, kbody, insert_clones(t.body), t.recursive)
+        if isinstance(t, ir.If):
+            return ir.If(
+                t.cmp,
+                t.left,
+                t.right,
+                insert_clones(t.then_term),
+                insert_clones(t.else_term),
+            )
+        rebuilt = ir.map_body(t, insert_clones)
+        if defined:
+            rebuilt = ir.map_body(
+                rebuilt, lambda body, d=defined: clones_for(list(d), body)
+            )
+        return rebuilt
+
+    term = insert_clones(term)
+    term = clones_for(list(prog.params), term)
+    ir.check_unique_binders(term)
+    return FirstOrderProgram(prog.params, term, gensym), stats
+
+
+def check_ssu(term: ir.Term) -> bool:
+    """Verify the SSU property: each memory-write operand variable has
+    exactly one use in the whole program."""
+    uses = ir.count_occurrences(term)
+    ok = [True]
+
+    def walk(t: ir.Term) -> None:
+        if isinstance(t, ir.MemWrite):
+            for atom in t.atoms:
+                if isinstance(atom, Var) and uses.get(atom.name, 0) != 1:
+                    ok[0] = False
+        for child in ir.subterms(t):
+            walk(child)
+
+    walk(term)
+    return ok[0]

@@ -1,0 +1,84 @@
+"""Compiler diagnostics.
+
+All user-facing failures raised by the Nova compiler derive from
+:class:`NovaError` and carry a :class:`SourceSpan` when one is known, so
+that drivers can render ``file:line:col`` diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """A position in Nova source text (1-based line, 1-based column)."""
+
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A contiguous region of Nova source text."""
+
+    start: SourcePos
+    end: SourcePos
+    filename: str = "<nova>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.start}"
+
+    @staticmethod
+    def unknown() -> "SourceSpan":
+        return SourceSpan(SourcePos(0, 0), SourcePos(0, 0), "<unknown>")
+
+
+class NovaError(Exception):
+    """Base class for all diagnostics produced while compiling Nova."""
+
+    def __init__(self, message: str, span: SourceSpan | None = None):
+        self.message = message
+        self.span = span
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        if self.span is not None:
+            return f"{self.span}: {self.message}"
+        return self.message
+
+
+class LexError(NovaError):
+    """Malformed token in the source text."""
+
+
+class ParseError(NovaError):
+    """The token stream does not form a valid Nova program."""
+
+
+class LayoutError(NovaError):
+    """Ill-formed layout definition or layout expression."""
+
+
+class TypeError_(NovaError):
+    """Nova type error (named with a trailing underscore to avoid
+    shadowing the Python builtin)."""
+
+
+class CpsError(NovaError):
+    """Internal invariant violation in the CPS middle end."""
+
+
+class SelectError(NovaError):
+    """Instruction selection could not map a CPS construct to the IXP."""
+
+
+class AllocError(NovaError):
+    """The allocator failed (infeasible model, resource exhaustion)."""
+
+
+class SimulatorError(NovaError):
+    """The IXP simulator trapped (illegal access, bad register, ...)."""

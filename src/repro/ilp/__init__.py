@@ -1,0 +1,21 @@
+"""0-1 integer linear programming layer (the paper's AMPL + CPLEX role).
+
+:mod:`repro.ilp.model` is a small modeling language: families of binary
+variables indexed by tuples, linear constraints, a linear objective —
+the job AMPL does in the paper (Figure 2).  :mod:`repro.ilp.solve`
+instantiates the model into sparse standard form and solves it, either
+with scipy's HiGHS MILP solver or with our own branch-and-bound (the
+CPLEX substitute).
+"""
+
+from repro.ilp.model import LinExpr, Model, Solution
+from repro.ilp.solve import SolveOptions, solve_model, solve_root_relaxation
+
+__all__ = [
+    "LinExpr",
+    "Model",
+    "Solution",
+    "SolveOptions",
+    "solve_model",
+    "solve_root_relaxation",
+]

@@ -1,0 +1,202 @@
+"""A small AMPL-flavoured 0-1 ILP modeling layer.
+
+The paper describes its optimization problems with AMPL: *sets* provide
+index ranges, ``var x {T, R} binary;`` declares a family of 0-1 variables,
+and constraint templates quantify over the sets (Figure 2).  This module
+gives the allocator the same vocabulary:
+
+>>> m = Model("demo")
+>>> x = m.family("Before")           # var Before {Exists, Banks} binary
+>>> a = x[("p1", "v", "A")]          # instantiating an index creates a var
+>>> m.add(LinExpr({a: 1}), "==", 1, note="in one place only")
+>>> m.minimize({a: 3.0})
+
+Constraints and the objective reference variables by dense integer ids,
+so conversion to sparse matrix form (for HiGHS or our own solver) is a
+single pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass
+class LinExpr:
+    """A linear expression: mapping variable id → coefficient."""
+
+    coeffs: dict[int, float] = field(default_factory=dict)
+
+    def add(self, var: int, coef: float = 1.0) -> "LinExpr":
+        self.coeffs[var] = self.coeffs.get(var, 0.0) + coef
+        return self
+
+    def __iadd__(self, other: "LinExpr") -> "LinExpr":
+        for var, coef in other.coeffs.items():
+            self.add(var, coef)
+        return self
+
+
+class Family:
+    """An indexed family of binary variables (``var x {S1, S2} binary``)."""
+
+    def __init__(self, model: "Model", name: str):
+        self.model = model
+        self.name = name
+        self.index: dict[tuple, int] = {}
+
+    def __getitem__(self, key: tuple) -> int:
+        var = self.index.get(key)
+        if var is None:
+            var = self.model._new_var(self.name, key)
+            self.index[key] = var
+        return var
+
+    def get(self, key: tuple) -> int | None:
+        return self.index.get(key)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self.index
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def items(self):
+        return self.index.items()
+
+
+@dataclass
+class _Constraint:
+    coeffs: dict[int, float]
+    sense: str  # '<=', '>=', '=='
+    rhs: float
+    note: str = ""
+
+
+class Model:
+    """A 0-1 integer linear program under construction."""
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self.num_vars = 0
+        self.var_names: list[tuple[str, tuple]] = []
+        self.families: dict[str, Family] = {}
+        self.constraints: list[_Constraint] = []
+        self.objective: dict[int, float] = {}
+
+    # -- variables ------------------------------------------------------------
+
+    def family(self, name: str) -> Family:
+        fam = self.families.get(name)
+        if fam is None:
+            fam = Family(self, name)
+            self.families[name] = fam
+        return fam
+
+    def _new_var(self, family: str, key: tuple) -> int:
+        var = self.num_vars
+        self.num_vars += 1
+        self.var_names.append((family, key))
+        return var
+
+    def name_of(self, var: int) -> str:
+        family, key = self.var_names[var]
+        return f"{family}[{','.join(str(k) for k in key)}]"
+
+    # -- constraints ------------------------------------------------------------
+
+    def add(
+        self,
+        expr: LinExpr | dict[int, float],
+        sense: str,
+        rhs: float,
+        note: str = "",
+    ) -> None:
+        coeffs = expr.coeffs if isinstance(expr, LinExpr) else expr
+        if sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad constraint sense {sense!r}")
+        self.constraints.append(_Constraint(dict(coeffs), sense, rhs, note))
+
+    def add_sum_eq(self, vars_: list[int], rhs: float, note: str = "") -> None:
+        self.add({v: 1.0 for v in vars_}, "==", rhs, note)
+
+    def add_sum_le(self, vars_: list[int], rhs: float, note: str = "") -> None:
+        self.add({v: 1.0 for v in vars_}, "<=", rhs, note)
+
+    # -- objective -----------------------------------------------------------------
+
+    def minimize(self, coeffs: dict[int, float]) -> None:
+        for var, coef in coeffs.items():
+            self.objective[var] = self.objective.get(var, 0.0) + coef
+
+    @property
+    def objective_terms(self) -> int:
+        return sum(1 for c in self.objective.values() if c != 0.0)
+
+    # -- standard form -----------------------------------------------------------
+
+    def standard_form(self):
+        """Return (c, A, lb_row, ub_row) with one row per constraint.
+
+        Row senses are encoded as [lb, ub] bounds on A @ x, suitable for
+        :class:`scipy.optimize.LinearConstraint`.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        lb = np.empty(len(self.constraints))
+        ub = np.empty(len(self.constraints))
+        for i, con in enumerate(self.constraints):
+            for var, coef in con.coeffs.items():
+                rows.append(i)
+                cols.append(var)
+                data.append(coef)
+            if con.sense == "<=":
+                lb[i], ub[i] = -np.inf, con.rhs
+            elif con.sense == ">=":
+                lb[i], ub[i] = con.rhs, np.inf
+            else:
+                lb[i], ub[i] = con.rhs, con.rhs
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(self.constraints), self.num_vars),
+        )
+        c = np.zeros(self.num_vars)
+        for var, coef in self.objective.items():
+            c[var] = coef
+        return c, matrix, lb, ub
+
+    # -- reporting --------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "variables": self.num_vars,
+            "constraints": len(self.constraints),
+            "objective_terms": self.objective_terms,
+        }
+
+
+@dataclass
+class Solution:
+    """Result of solving a model."""
+
+    status: str  # 'optimal' | 'infeasible' | 'timeout'
+    objective: float
+    values: np.ndarray
+    root_relaxation_seconds: float
+    integer_seconds: float
+    nodes: int = 0
+
+    def value(self, var: int) -> float:
+        return float(self.values[var])
+
+    def is_one(self, var: int | None) -> bool:
+        if var is None:
+            return False
+        return self.values[var] > 0.5
+
+    def ones(self, family: Family) -> list[tuple]:
+        return [key for key, var in family.items() if self.is_one(var)]

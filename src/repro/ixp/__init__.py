@@ -1,0 +1,51 @@
+"""IXP1200 target: banks, instruction set, flowgraph, selection, simulator."""
+
+from repro.ixp.banks import Bank, BANK_SIZES, XFER_BANKS, GP_BANKS
+from repro.ixp.isa import (
+    Alu,
+    Br,
+    BrCmp,
+    Clone,
+    CsrRd,
+    CsrWr,
+    CtxArb,
+    HaltInstr,
+    HashInstr,
+    Imm,
+    Immed,
+    Instr,
+    MemOp,
+    Move,
+    Operand,
+    PhysReg,
+    Temp,
+)
+from repro.ixp.flowgraph import Block, FlowGraph
+from repro.ixp.select import select_instructions
+
+__all__ = [
+    "Bank",
+    "BANK_SIZES",
+    "XFER_BANKS",
+    "GP_BANKS",
+    "Alu",
+    "Br",
+    "BrCmp",
+    "Clone",
+    "CsrRd",
+    "CsrWr",
+    "CtxArb",
+    "HaltInstr",
+    "HashInstr",
+    "Imm",
+    "Immed",
+    "Instr",
+    "MemOp",
+    "Move",
+    "Operand",
+    "PhysReg",
+    "Temp",
+    "Block",
+    "FlowGraph",
+    "select_instructions",
+]

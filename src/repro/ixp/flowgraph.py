@@ -1,0 +1,184 @@
+"""Flowgraphs of IXP instructions with explicit program points.
+
+The ILP model of the paper is expressed over *program points*: "Each
+instruction of the program's original flowgraph is located between two
+such points.  A branch instruction is followed by a single point that is
+connected to all points at the targets of the branch" (Section 5.2).
+
+A :class:`FlowGraph` is a set of labeled basic blocks; every instruction
+``i`` in block ``b`` sits between points ``point_before(b, i)`` and
+``point_after(b, i)``.  Points are materialized as dense integer ids so
+that the allocator's sets (Exists, Copy, ...) can be built cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ixp import isa
+
+
+@dataclass
+class Block:
+    label: str
+    instrs: list[isa.Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> isa.Instr:
+        return self.instrs[-1]
+
+    def successors(self) -> list[str]:
+        term = self.terminator
+        if isinstance(term, isa.Br):
+            return [term.target]
+        if isinstance(term, isa.BrCmp):
+            # then before else: the order matters only for display.
+            return [term.then_target, term.else_target]
+        return []
+
+
+@dataclass
+class FlowGraph:
+    """Basic blocks plus the program-point numbering used by the ILP."""
+
+    entry: str
+    blocks: dict[str, Block]
+    inputs: tuple[str, ...] = ()  # program input temporaries (live at entry)
+
+    # -- structure -----------------------------------------------------------
+
+    def block_order(self) -> list[str]:
+        """Reverse-post-order from the entry (stable, deterministic)."""
+        seen: set[str] = set()
+        order: list[str] = []
+
+        def visit(label: str) -> None:
+            if label in seen or label not in self.blocks:
+                return
+            seen.add(label)
+            for succ in self.blocks[label].successors():
+                visit(succ)
+            order.append(label)
+
+        visit(self.entry)
+        order.reverse()
+        # Unreachable blocks (should not exist) go last for completeness.
+        for label in self.blocks:
+            if label not in seen:
+                order.append(label)
+        return order
+
+    def predecessors(self) -> dict[str, list[str]]:
+        preds: dict[str, list[str]] = {label: [] for label in self.blocks}
+        for label, block in self.blocks.items():
+            for succ in block.successors():
+                preds[succ].append(label)
+        return preds
+
+    def instructions(self) -> list[tuple[str, int, isa.Instr]]:
+        """All instructions as (block label, index, instruction)."""
+        out = []
+        for label in self.block_order():
+            for index, instr in enumerate(self.blocks[label].instrs):
+                out.append((label, index, instr))
+        return out
+
+    def num_instructions(self) -> int:
+        return sum(len(b.instrs) for b in self.blocks.values())
+
+    # -- program points ---------------------------------------------------------
+
+    def points(self) -> "PointMap":
+        return PointMap(self)
+
+    # -- misc ----------------------------------------------------------------
+
+    def temps(self) -> list[str]:
+        """All virtual registers appearing in the graph, sorted."""
+        names: set[str] = set()
+        for block in self.blocks.values():
+            for instr in block.instrs:
+                for reg in instr.defs() + instr.uses():
+                    if isinstance(reg, isa.Temp):
+                        names.add(reg.name)
+        names.update(self.inputs)
+        return sorted(names)
+
+    def pretty(self) -> str:
+        lines = []
+        for label in self.block_order():
+            lines.append(f"{label}:")
+            for instr in self.blocks[label].instrs:
+                lines.append(f"    {instr}")
+        return "\n".join(lines) + "\n"
+
+    def validate(self) -> None:
+        """Check basic well-formedness: terminators, branch targets."""
+        for label, block in self.blocks.items():
+            if not block.instrs:
+                raise ValueError(f"block {label} is empty")
+            if not isinstance(block.terminator, isa.TERMINATORS):
+                raise ValueError(f"block {label} lacks a terminator")
+            for index, instr in enumerate(block.instrs[:-1]):
+                if isinstance(instr, isa.TERMINATORS):
+                    raise ValueError(
+                        f"terminator mid-block in {label} at {index}"
+                    )
+            for succ in block.successors():
+                if succ not in self.blocks:
+                    raise ValueError(f"branch to unknown block {succ}")
+
+
+class PointMap:
+    """Dense numbering of program points.
+
+    Within a block of n instructions there are n+1 points.  The point
+    after a terminator is the same single point that connects to all
+    branch targets; an edge to a successor block identifies that point
+    with the successor's entry point for liveness purposes, but the
+    *point objects* remain distinct and the Copy set records the
+    connection (paper Section 5.2).
+    """
+
+    def __init__(self, graph: FlowGraph):
+        self.graph = graph
+        self._before: dict[tuple[str, int], int] = {}
+        self._count = 0
+        self._block_points: dict[str, tuple[int, int]] = {}
+        for label in graph.block_order():
+            block = graph.blocks[label]
+            first = self._count
+            for index in range(len(block.instrs)):
+                self._before[(label, index)] = self._count
+                self._count += 1
+            # the point after the last instruction
+            self._block_points[label] = (first, self._count)
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def before(self, label: str, index: int) -> int:
+        return self._before[(label, index)]
+
+    def after(self, label: str, index: int) -> int:
+        block = self.graph.blocks[label]
+        if index + 1 < len(block.instrs):
+            return self._before[(label, index + 1)]
+        return self._block_points[label][1]
+
+    def entry(self, label: str) -> int:
+        return self._block_points[label][0]
+
+    def exit(self, label: str) -> int:
+        return self._block_points[label][1]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Point-graph edges: exit point of a block → entry point of each
+        successor (intra-block edges are implicit in before/after)."""
+        out = []
+        for label, block in self.graph.blocks.items():
+            for succ in block.successors():
+                out.append((self.exit(label), self.entry(succ)))
+        return out

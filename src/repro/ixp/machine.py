@@ -1,0 +1,499 @@
+"""Cycle-approximate IXP1200 micro-engine simulator.
+
+Executes a flowgraph in one of two register modes:
+
+- **virtual** — operands are :class:`repro.ixp.isa.Temp`; the register
+  file is unbounded.  Used to validate compiler output *before* register
+  allocation (and as the semantic reference the allocated code must
+  match).
+- **physical** — operands are :class:`repro.ixp.isa.PhysReg`; the
+  simulator enforces every datapath restriction of Figure 1: ALU operand
+  bank legality, aggregate adjacency in transfer banks, no moves within a
+  transfer bank, hash-unit same-register-number, and bank sizes.
+
+Hardware-supported multithreading is modeled the way the chip works: a
+thread runs until it issues a memory reference (or ``ctx_arb``), then the
+micro-engine swaps to the next ready thread with zero overhead while the
+reference completes.  Each memory space services one transfer at a time,
+so contention lengthens the critical path exactly where the paper says it
+does.
+
+Cycle costs: ALU/move/branch-not-taken 1 cycle, taken branches 2 (the
+IXP's deferred branch slot, unfilled), ``immed`` 1 (2 for constants wider
+than 16 bits), csr 3, hash 1 + unit latency, memory = issue 1 +
+space latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulatorError
+from repro.ixp import isa
+from repro.ixp.banks import (
+    ALU_INPUT_BANKS,
+    ALU_OUTPUT_BANKS,
+    BANK_SIZES,
+    Bank,
+    READ_BANK,
+    WRITE_BANK,
+)
+from repro.ixp.flowgraph import FlowGraph
+from repro.ixp.memory import MemorySystem
+
+WORD_MASK = 0xFFFFFFFF
+HASH_LATENCY = 10
+CLOCK_MHZ = 233  # IXP1200 in the paper (Section 11)
+
+
+def _alu_eval(op: str, a: int, b: int | None) -> int:
+    if op == "add":
+        return (a + (b or 0)) & WORD_MASK
+    if op == "sub":
+        return (a - (b or 0)) & WORD_MASK
+    if op == "and":
+        return a & (b or 0)
+    if op == "or":
+        return a | (b or 0)
+    if op == "xor":
+        return a ^ (b or 0)
+    if op == "shl":
+        return (a << ((b or 0) & 31)) & WORD_MASK
+    if op == "shr":
+        return (a & WORD_MASK) >> ((b or 0) & 31)
+    if op == "not":
+        return ~a & WORD_MASK
+    if op == "neg":
+        return -a & WORD_MASK
+    raise SimulatorError(f"unknown ALU op '{op}'")
+
+
+def _cmp_eval(op: str, a: int, b: int) -> bool:
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    if op == "ge":
+        return a >= b
+    raise SimulatorError(f"unknown comparison '{op}'")
+
+
+def hash48(value: int) -> int:
+    """The hash unit: a deterministic 32-bit mix (stand-in for the
+    IXP1200's 48-bit polynomial hash)."""
+    value &= WORD_MASK
+    value ^= value >> 16
+    value = (value * 0x45D9F3B) & WORD_MASK
+    value ^= value >> 16
+    value = (value * 0x45D9F3B) & WORD_MASK
+    value ^= value >> 16
+    return value
+
+
+@dataclass
+class RegisterFile:
+    """Per-thread registers, keyed by Temp name or (bank, index)."""
+
+    physical: bool
+    values: dict[object, int] = field(default_factory=dict)
+
+    def key(self, reg: isa.Reg) -> object:
+        if isinstance(reg, isa.Temp):
+            if self.physical:
+                raise SimulatorError(
+                    f"virtual register {reg} in physical-mode execution"
+                )
+            return reg.name
+        if isinstance(reg, isa.PhysReg):
+            if not self.physical:
+                raise SimulatorError(
+                    f"physical register {reg} in virtual-mode execution"
+                )
+            if reg.bank not in BANK_SIZES:
+                raise SimulatorError(f"register in non-register bank {reg}")
+            if not 0 <= reg.index < BANK_SIZES[reg.bank]:
+                raise SimulatorError(f"register index out of range: {reg}")
+            return (reg.bank, reg.index)
+        raise SimulatorError(f"bad register operand {reg!r}")
+
+    def read(self, reg: isa.Reg | isa.Imm) -> int:
+        if isinstance(reg, isa.Imm):
+            return reg.value
+        key = self.key(reg)
+        if key not in self.values:
+            raise SimulatorError(f"read of undefined register {reg}")
+        return self.values[key]
+
+    def write(self, reg: isa.Reg, value: int) -> None:
+        self.values[self.key(reg)] = value & WORD_MASK
+
+
+def _bank_of(reg: isa.Reg) -> Bank | None:
+    return reg.bank if isinstance(reg, isa.PhysReg) else None
+
+
+def _check_alu_operands(instr_name: str, ops: list[isa.Reg]) -> None:
+    """Enforce Figure 1: inputs from L/LD/A/B; at most one operand from
+    each of A, B, and L∪LD."""
+    banks = [b for b in (_bank_of(op) for op in ops) if b is not None]
+    for bank in banks:
+        if bank not in ALU_INPUT_BANKS:
+            raise SimulatorError(
+                f"{instr_name}: operand bank {bank} cannot feed the ALU"
+            )
+    if sum(1 for b in banks if b is Bank.A) > 1:
+        raise SimulatorError(f"{instr_name}: two operands from bank A")
+    if sum(1 for b in banks if b is Bank.B) > 1:
+        raise SimulatorError(f"{instr_name}: two operands from bank B")
+    if sum(1 for b in banks if b in (Bank.L, Bank.LD)) > 1:
+        raise SimulatorError(
+            f"{instr_name}: two operands from transfer banks"
+        )
+
+
+def _check_alu_dst(instr_name: str, dst: isa.Reg) -> None:
+    bank = _bank_of(dst)
+    if bank is not None and bank not in ALU_OUTPUT_BANKS:
+        raise SimulatorError(
+            f"{instr_name}: ALU result cannot go to bank {bank}"
+        )
+
+
+def _check_aggregate(instr: isa.MemOp) -> None:
+    expected = (
+        READ_BANK[instr.space]
+        if instr.direction == "read"
+        else WRITE_BANK[instr.space]
+    )
+    indices = []
+    for reg in instr.regs:
+        bank = _bank_of(reg)
+        if bank is None:
+            return  # virtual mode: nothing to check
+        if bank is not expected:
+            raise SimulatorError(
+                f"{instr}: aggregate register {reg} not in bank {expected}"
+            )
+        indices.append(reg.index)
+    if indices != list(range(indices[0], indices[0] + len(indices))):
+        raise SimulatorError(f"{instr}: aggregate registers not adjacent")
+    addr_bank = _bank_of(instr.addr)
+    if addr_bank is not None and addr_bank not in (Bank.A, Bank.B):
+        raise SimulatorError(f"{instr}: address must come from A or B")
+
+
+@dataclass
+class ThreadStats:
+    instructions: int = 0
+    iterations: int = 0
+    mem_stall_cycles: int = 0
+
+
+@dataclass
+class RunResult:
+    cycles: int
+    thread_stats: list[ThreadStats]
+    results: list[tuple[int, tuple[int, ...]]]  # (thread, halt values)
+
+    @property
+    def instructions(self) -> int:
+        return sum(t.instructions for t in self.thread_stats)
+
+    def throughput_mbps(self, payload_bytes: int, clock_mhz: int = CLOCK_MHZ) -> float:
+        """Bits of payload processed per second at ``clock_mhz``."""
+        if self.cycles == 0:
+            return 0.0
+        iterations = sum(t.iterations for t in self.thread_stats)
+        seconds = self.cycles / (clock_mhz * 1e6)
+        return iterations * payload_bytes * 8 / seconds / 1e6
+
+
+class _Thread:
+    def __init__(self, tid: int, machine: "Machine"):
+        self.tid = tid
+        self.machine = machine
+        self.regs = RegisterFile(machine.physical)
+        self.block = machine.graph.entry
+        self.index = 0
+        self.ready_at = 0
+        self.done = False
+        self.stats = ThreadStats()
+        self.iteration = 0
+
+    def restart(self) -> bool:
+        inputs = self.machine.input_provider(self.tid, self.iteration)
+        if inputs is None:
+            self.done = True
+            return False
+        self.regs = RegisterFile(self.machine.physical)
+        for name, value in inputs.items():
+            if self.machine.physical:
+                self.regs.values[name] = value & WORD_MASK
+            else:
+                self.regs.values[name] = value & WORD_MASK
+        self.block = self.machine.graph.entry
+        self.index = 0
+        return True
+
+
+class Machine:
+    """N hardware threads executing one flowgraph over a memory system."""
+
+    def __init__(
+        self,
+        graph: FlowGraph,
+        memory: MemorySystem | None = None,
+        threads: int = 1,
+        physical: bool | None = None,
+        input_provider: Callable[[int, int], dict | None] | None = None,
+        max_cycles: int = 50_000_000,
+    ):
+        graph.validate()
+        self.graph = graph
+        self.memory = memory or MemorySystem.create()
+        if physical is None:
+            physical = _guess_physical(graph)
+        self.physical = physical
+        self.input_provider = input_provider or (
+            lambda tid, it: {} if it == 0 else None
+        )
+        self.threads = [_Thread(i, self) for i in range(threads)]
+        self.max_cycles = max_cycles
+        self.results: list[tuple[int, tuple[int, ...]]] = []
+        self.csrs: dict[int, int] = {}
+        #: lock bit → holding thread id (inter-thread mutual exclusion)
+        self.locks: dict[int, int] = {}
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        clock = 0
+        ready: list[tuple[int, int, int]] = []  # (ready_at, tid, seq)
+        seq = 0
+        for thread in self.threads:
+            if thread.restart():
+                heapq.heappush(ready, (0, thread.tid, seq))
+                seq += 1
+        while ready:
+            ready_at, tid, _ = heapq.heappop(ready)
+            clock = max(clock, ready_at)
+            thread = self.threads[tid]
+            clock = self._run_thread(thread, clock)
+            if clock > self.max_cycles:
+                raise SimulatorError(
+                    f"simulation exceeded {self.max_cycles} cycles"
+                )
+            if not thread.done:
+                heapq.heappush(ready, (thread.ready_at, tid, seq))
+                seq += 1
+        return RunResult(clock, [t.stats for t in self.threads], self.results)
+
+    def _run_thread(self, thread: _Thread, clock: int) -> int:
+        """Run until the thread blocks, halts, or yields; returns clock."""
+        while True:
+            block = self.graph.blocks[thread.block]
+            instr = block.instrs[thread.index]
+            thread.stats.instructions += 1
+            cost, blocked = self._execute(thread, instr, clock)
+            clock += cost
+            if blocked:
+                thread.ready_at = blocked
+                thread.stats.mem_stall_cycles += max(0, blocked - clock)
+                return clock
+            if thread.done or isinstance(instr, isa.CtxArb):
+                thread.ready_at = clock
+                return clock
+            if isinstance(instr, isa.HaltInstr):
+                thread.ready_at = clock
+                return clock
+
+    def _execute(
+        self, thread: _Thread, instr: isa.Instr, clock: int
+    ) -> tuple[int, int | None]:
+        """Execute one instruction; returns (cycle cost, blocked-until)."""
+        regs = thread.regs
+        if isinstance(instr, isa.Alu):
+            _check_alu_operands(str(instr), instr.uses())
+            _check_alu_dst(str(instr), instr.dst)
+            a = regs.read(instr.a)
+            b = regs.read(instr.b) if instr.b is not None else None
+            regs.write(instr.dst, _alu_eval(instr.op, a, b))
+            self._advance(thread)
+            return 1, None
+        if isinstance(instr, isa.Move):
+            _check_alu_operands(str(instr), [instr.src])
+            _check_alu_dst(str(instr), instr.dst)
+            src_bank = _bank_of(instr.src)
+            dst_bank = _bank_of(instr.dst)
+            if (
+                src_bank is not None
+                and src_bank == dst_bank
+                and src_bank in (Bank.L, Bank.S, Bank.LD, Bank.SD)
+                and instr.src != instr.dst
+            ):
+                raise SimulatorError(
+                    f"{instr}: no datapath within transfer bank {src_bank}"
+                )
+            regs.write(instr.dst, regs.read(instr.src))
+            self._advance(thread)
+            return 1, None
+        if isinstance(instr, isa.Clone):
+            # Clones are pseudo-instructions; in virtual mode they copy,
+            # in physical mode they should have been eliminated.
+            if self.physical:
+                raise SimulatorError(
+                    "clone instruction survived register allocation"
+                )
+            regs.write(instr.dst, regs.read(instr.src))
+            self._advance(thread)
+            return 0, None
+        if isinstance(instr, isa.Immed):
+            _check_alu_dst(str(instr), instr.dst)
+            regs.write(instr.dst, instr.value)
+            self._advance(thread)
+            return 1 if 0 <= instr.value < (1 << 16) else 2, None
+        if isinstance(instr, isa.MemOp):
+            return self._execute_mem(thread, instr, clock)
+        if isinstance(instr, isa.HashInstr):
+            src_bank, dst_bank = _bank_of(instr.src), _bank_of(instr.dst)
+            if src_bank is not None:
+                if src_bank is not Bank.S or dst_bank is not Bank.L:
+                    raise SimulatorError(
+                        f"{instr}: hash reads S and writes L"
+                    )
+                assert isinstance(instr.src, isa.PhysReg)
+                assert isinstance(instr.dst, isa.PhysReg)
+                if instr.src.index != instr.dst.index:
+                    raise SimulatorError(
+                        f"{instr}: hash dst/src must share a register "
+                        "number (SameReg)"
+                    )
+            regs.write(instr.dst, hash48(regs.read(instr.src)))
+            self._advance(thread)
+            return 1 + HASH_LATENCY, None
+        if isinstance(instr, isa.CsrRd):
+            regs.write(instr.dst, self.csrs.get(instr.csr, 0))
+            self._advance(thread)
+            return 3, None
+        if isinstance(instr, isa.CsrWr):
+            self.csrs[instr.csr] = regs.read(instr.src)
+            self._advance(thread)
+            return 3, None
+        if isinstance(instr, isa.CtxArb):
+            self._advance(thread)
+            return 1, None
+        if isinstance(instr, isa.LockInstr):
+            return self._execute_lock(thread, instr, clock)
+        if isinstance(instr, isa.Br):
+            thread.block = instr.target
+            thread.index = 0
+            return 2, None
+        if isinstance(instr, isa.BrCmp):
+            _check_alu_operands(str(instr), instr.uses())
+            a = regs.read(instr.a)
+            b = regs.read(instr.b)
+            taken = _cmp_eval(instr.cmp, a, b)
+            thread.block = instr.then_target if taken else instr.else_target
+            thread.index = 0
+            return 2, None
+        if isinstance(instr, isa.HaltInstr):
+            values = tuple(regs.read(r) for r in instr.results)
+            self.results.append((thread.tid, values))
+            thread.stats.iterations += 1
+            thread.iteration += 1
+            thread.restart()
+            return 1, None
+        raise SimulatorError(f"unhandled instruction {instr!r}")
+
+    def _execute_lock(
+        self, thread: _Thread, instr: isa.LockInstr, clock: int
+    ) -> tuple[int, int | None]:
+        holder = self.locks.get(instr.number)
+        if instr.kind == "lock":
+            if holder is None:
+                self.locks[instr.number] = thread.tid
+                self._advance(thread)
+                return 1, None
+            if holder == thread.tid:
+                raise SimulatorError(
+                    f"thread {thread.tid} re-acquiring lock {instr.number}"
+                )
+            # Spin: yield and retry this instruction later.
+            return 1, clock + 4
+        if holder != thread.tid:
+            raise SimulatorError(
+                f"thread {thread.tid} unlocking lock {instr.number} held "
+                f"by {holder}"
+            )
+        del self.locks[instr.number]
+        self._advance(thread)
+        return 1, None
+
+    def _execute_mem(
+        self, thread: _Thread, instr: isa.MemOp, clock: int
+    ) -> tuple[int, int | None]:
+        _check_aggregate(instr)
+        if instr.space == "rfifo" and instr.direction == "write":
+            raise SimulatorError("the receive FIFO is read-only")
+        if instr.space == "tfifo" and instr.direction == "read":
+            raise SimulatorError("the transmit FIFO is write-only")
+        space = self.memory[instr.space]
+        addr = thread.regs.read(instr.addr)
+        finish = space.issue(clock + 1, len(instr.regs))
+        if instr.direction == "read":
+            values = space.read(addr, len(instr.regs))
+            for reg, value in zip(instr.regs, values):
+                thread.regs.write(reg, value)
+        else:
+            space.write(addr, [thread.regs.read(r) for r in instr.regs])
+        self._advance(thread)
+        # Issue costs 1 cycle; the thread then sleeps until the data is
+        # back while other threads run.
+        return 1, finish
+
+    def _advance(self, thread: _Thread) -> None:
+        thread.index += 1
+
+
+def _guess_physical(graph: FlowGraph) -> bool:
+    for block in graph.blocks.values():
+        for instr in block.instrs:
+            for reg in instr.defs() + instr.uses():
+                if isinstance(reg, isa.PhysReg):
+                    return True
+                if isinstance(reg, isa.Temp):
+                    return False
+    return False
+
+
+def run_virtual(
+    graph: FlowGraph,
+    inputs: dict[str, int] | None = None,
+    memory: MemorySystem | None = None,
+    iterations: int = 1,
+    threads: int = 1,
+) -> RunResult:
+    """Convenience: run a virtual-register flowgraph a fixed number of
+    iterations per thread with constant inputs."""
+
+    def provider(tid: int, iteration: int) -> dict | None:
+        if iteration >= iterations:
+            return None
+        return dict(inputs or {})
+
+    machine = Machine(
+        graph,
+        memory=memory,
+        threads=threads,
+        physical=False,
+        input_provider=provider,
+    )
+    return machine.run()

@@ -1,0 +1,128 @@
+"""Memory system model: SRAM, SDRAM and on-chip scratch.
+
+All spaces are word-addressed (32-bit words).  SDRAM transfers move an
+even number of words starting at an even word address (the paper's 8-byte
+alignment restriction, Section 1.1); SRAM/scratch transfers are 4-byte
+(one word) aligned by construction.
+
+Latencies approximate the IXP1200 (in micro-engine cycles).  Each space
+services one outstanding aggregate transfer at a time, so threads
+hammering one space contend — the effect the paper mentions for the AES
+tables living in SRAM ("all tables reside in SRAM memory, resulting in
+contention").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulatorError
+
+#: Issue-to-data latencies per space, in cycles.
+LATENCY = {"scratch": 12, "sram": 16, "sdram": 24, "rfifo": 10, "tfifo": 10}
+
+#: Additional cycles per word transferred beyond the first.
+PER_WORD = {"scratch": 1, "sram": 1, "sdram": 1, "rfifo": 1, "tfifo": 1}
+
+#: Cycles the unit's request pipeline is occupied per transfer (the
+#: units accept a new request every few cycles even though each takes
+#: LATENCY cycles to complete — requests from different threads overlap).
+OCCUPANCY = {"scratch": 2, "sram": 2, "sdram": 4, "rfifo": 2, "tfifo": 2}
+
+#: Default sizes (in words).  The receive/transmit FIFOs are 16 elements
+#: of 16 words (64 bytes) each, as on the IXP1200.
+DEFAULT_SIZES = {
+    "scratch": 1024,
+    "sram": 256 * 1024,
+    "sdram": 2 * 1024 * 1024,
+    "rfifo": 16 * 16,
+    "tfifo": 16 * 16,
+}
+
+WORD_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class MemorySpace:
+    """One word-addressed memory with a single service port."""
+
+    name: str
+    size: int
+    words: dict[int, int] = field(default_factory=dict)
+    #: Cycle at which the current in-flight transfer completes.
+    busy_until: int = 0
+    #: Counters for reporting.
+    reads: int = 0
+    writes: int = 0
+
+    def _check(self, addr: int, count: int) -> None:
+        if addr < 0 or addr + count > self.size:
+            raise SimulatorError(
+                f"{self.name} access out of range: addr={addr} count={count} "
+                f"size={self.size}"
+            )
+        if self.name == "sdram":
+            if addr % 2 or count % 2:
+                raise SimulatorError(
+                    f"sdram transfers need 8-byte alignment: addr={addr} "
+                    f"count={count}"
+                )
+
+    def read(self, addr: int, count: int) -> list[int]:
+        self._check(addr, count)
+        self.reads += 1
+        return [self.words.get(addr + i, 0) for i in range(count)]
+
+    def write(self, addr: int, values: list[int]) -> None:
+        self._check(addr, len(values))
+        self.writes += 1
+        for i, value in enumerate(values):
+            self.words[addr + i] = value & WORD_MASK
+
+    def transfer_time(self, count: int) -> int:
+        return LATENCY[self.name] + PER_WORD[self.name] * max(0, count - 1)
+
+    def issue(self, now: int, count: int) -> int:
+        """Queue one transfer; returns its completion time.
+
+        The unit is *pipelined*: it accepts a request every
+        ``OCCUPANCY`` cycles (plus per-word time) while each request
+        still takes the full ``LATENCY`` to return data, so requests
+        from different threads overlap — contention shows up as queueing
+        on the acceptance rate, not as serialized latencies.
+        """
+        start = max(now, self.busy_until)
+        occupancy = OCCUPANCY[self.name] + PER_WORD[self.name] * max(
+            0, count - 1
+        )
+        self.busy_until = start + occupancy
+        return start + self.transfer_time(count)
+
+    def load_words(self, addr: int, values: list[int]) -> None:
+        """Back-door initialization (no cycle cost, no alignment checks)."""
+        for i, value in enumerate(values):
+            if addr + i >= self.size:
+                raise SimulatorError(f"{self.name} preload out of range")
+            self.words[addr + i] = value & WORD_MASK
+
+    def dump_words(self, addr: int, count: int) -> list[int]:
+        """Back-door inspection (no cycle cost)."""
+        return [self.words.get(addr + i, 0) for i in range(count)]
+
+
+@dataclass
+class MemorySystem:
+    spaces: dict[str, MemorySpace]
+
+    @staticmethod
+    def create(sizes: dict[str, int] | None = None) -> "MemorySystem":
+        sizes = {**DEFAULT_SIZES, **(sizes or {})}
+        return MemorySystem(
+            {name: MemorySpace(name, size) for name, size in sizes.items()}
+        )
+
+    def __getitem__(self, name: str) -> MemorySpace:
+        try:
+            return self.spaces[name]
+        except KeyError:
+            raise SimulatorError(f"unknown memory space '{name}'") from None

@@ -1,0 +1,430 @@
+"""Instruction selection: first-order CPS → IXP flowgraph.
+
+Continuations become basic blocks; jumps with arguments become a
+sequentialized parallel copy followed by a branch.  Constants that do not
+fit an inline immediate are materialized with ``immed`` right before use
+(the future-work C-bank rematerialization extension instead exposes them
+to the register allocator, see :mod:`repro.alloc.remat`).
+
+Multiplication, division and modulus have no IXP1200 ALU support; they
+are selected only for constant powers of two (shift/mask) or small
+constant multipliers (shift-add decomposition).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SelectError
+from repro.cps import ir
+from repro.cps.deproc import FirstOrderProgram
+from repro.ixp import isa
+from repro.ixp.flowgraph import Block, FlowGraph
+
+_CMP_FLIP = {"eq": "eq", "ne": "ne", "lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}
+
+
+def select_instructions(prog: FirstOrderProgram) -> FlowGraph:
+    """Lower an optimized, SSU-form CPS program to an IXP flowgraph."""
+    return _Selector(prog).run()
+
+
+class _Selector:
+    def __init__(self, prog: FirstOrderProgram):
+        self.prog = prog
+        self.gensym = prog.gensym
+        self.blocks: dict[str, Block] = {}
+        self.cont_params: dict[str, tuple[str, ...]] = {}
+
+    def run(self) -> FlowGraph:
+        # Pre-register every continuation signature: CPS allows forward
+        # references (a loop body jumping to the exit continuation that
+        # is bound in the loop's lexical body).
+        def register(term: ir.Term) -> None:
+            if isinstance(term, ir.LetCont):
+                self.cont_params[term.name] = term.params
+            for child in ir.subterms(term):
+                register(child)
+
+        register(self.prog.term)
+        entry = Block("entry")
+        self.blocks[entry.label] = entry
+        self.select(self.prog.term, entry.instrs)
+        graph = FlowGraph("entry", self.blocks, tuple(self.prog.params))
+        graph.validate()
+        simplify_graph(graph)
+        return graph
+
+    # -- operand helpers ------------------------------------------------------
+
+    def _reg(self, atom: ir.Atom, out: list[isa.Instr]) -> isa.Temp:
+        """Force an atom into a register, materializing constants."""
+        if isinstance(atom, ir.Var):
+            return isa.Temp(atom.name)
+        assert isinstance(atom, ir.Const)
+        temp = isa.Temp(self.gensym.fresh("c"))
+        out.append(isa.Immed(temp, atom.value))
+        return temp
+
+    def _operand(
+        self, atom: ir.Atom, out: list[isa.Instr], imm_ok: bool
+    ) -> isa.Temp | isa.Imm:
+        if isinstance(atom, ir.Const) and imm_ok and 0 <= atom.value <= isa.MAX_INLINE_IMM:
+            return isa.Imm(atom.value)
+        return self._reg(atom, out)
+
+    # -- term selection ----------------------------------------------------------
+
+    def select(self, term: ir.Term, out: list[isa.Instr]) -> None:
+        while True:
+            if isinstance(term, ir.LetVal):
+                if isinstance(term.atom, ir.Const):
+                    out.append(isa.Immed(isa.Temp(term.var), term.atom.value))
+                else:
+                    out.append(isa.Move(isa.Temp(term.var), isa.Temp(term.atom.name)))
+                term = term.body
+                continue
+            if isinstance(term, ir.LetPrim):
+                self.select_prim(term, out)
+                term = term.body
+                continue
+            if isinstance(term, ir.MemRead):
+                addr = self._reg(term.addr, out)
+                regs = tuple(isa.Temp(v) for v in term.vars)
+                out.append(isa.MemOp(term.space, "read", addr, regs))
+                term = term.body
+                continue
+            if isinstance(term, ir.MemWrite):
+                addr = self._reg(term.addr, out)
+                regs = tuple(self._reg(a, out) for a in term.atoms)
+                out.append(isa.MemOp(term.space, "write", addr, regs))
+                term = term.body
+                continue
+            if isinstance(term, ir.LetClone):
+                out.append(isa.Clone(isa.Temp(term.var), isa.Temp(term.source)))
+                term = term.body
+                continue
+            if isinstance(term, ir.Special):
+                self.select_special(term, out)
+                term = term.body
+                continue
+            if isinstance(term, ir.LetCont):
+                self.cont_params[term.name] = term.params
+                block = Block(term.name)
+                self.blocks[term.name] = block
+                self.select(term.kbody, block.instrs)
+                term = term.body
+                continue
+            if isinstance(term, ir.AppCont):
+                self.emit_jump(term.name, term.args, out)
+                return
+            if isinstance(term, ir.If):
+                self.select_branch(term, out)
+                return
+            if isinstance(term, ir.Halt):
+                results = tuple(
+                    self._operand(a, out, imm_ok=True) for a in term.atoms
+                )
+                out.append(isa.HaltInstr(results))
+                return
+            raise SelectError(f"unhandled CPS term {type(term).__name__}")
+
+    def select_prim(self, term: ir.LetPrim, out: list[isa.Instr]) -> None:
+        dst = isa.Temp(term.var)
+        op = term.op
+        args = term.args
+        if op in ("not", "neg"):
+            a = self._reg(args[0], out)
+            out.append(isa.Alu(dst, op, a))
+            return
+        if op in ("shl", "shr"):
+            a = self._reg(args[0], out)
+            amount = args[1]
+            if isinstance(amount, ir.Const):
+                out.append(isa.Alu(dst, op, a, isa.Imm(amount.value & 31)))
+            else:
+                out.append(isa.Alu(dst, op, a, self._reg(amount, out)))
+            return
+        if op in ("mul", "div", "mod"):
+            self.select_muldiv(dst, op, args, out)
+            return
+        if op not in isa.ALU_OPS:
+            raise SelectError(f"unknown primitive '{op}'")
+        # Commutative ops prefer the immediate on the B side.
+        a, b = args
+        if isinstance(a, ir.Const) and op in ("add", "and", "or", "xor"):
+            a, b = b, a
+        ra = self._reg(a, out)
+        rb = self._operand(b, out, imm_ok=True)
+        if ra == rb:
+            # The two ALU read ports cannot fetch the same register;
+            # rewrite x op x (the optimizer folds most of these away).
+            if op == "add":
+                out.append(isa.Alu(dst, "shl", ra, isa.Imm(1)))
+            elif op in ("and", "or"):
+                out.append(isa.Move(dst, ra))
+            elif op in ("sub", "xor"):
+                out.append(isa.Immed(dst, 0))
+            else:
+                raise SelectError(f"'{op}' with identical operands")
+            return
+        out.append(isa.Alu(dst, op, ra, rb))
+
+    def select_muldiv(
+        self,
+        dst: isa.Temp,
+        op: str,
+        args: tuple[ir.Atom, ...],
+        out: list[isa.Instr],
+    ) -> None:
+        """Expand mul/div/mod — the IXP1200 ALU has none of them."""
+        a, b = args
+        if op == "mul" and isinstance(a, ir.Const):
+            a, b = b, a
+        if not isinstance(b, ir.Const):
+            raise SelectError(
+                f"'{op}' by a non-constant has no IXP1200 expansion"
+            )
+        value = b.value
+        if op == "mul":
+            self._expand_mul(dst, a, value, out)
+            return
+        if value == 0:
+            raise SelectError(f"'{op}' by zero")
+        if value & (value - 1):
+            raise SelectError(
+                f"'{op}' by non-power-of-two constant {value} is not "
+                "supported on the IXP1200"
+            )
+        shift = value.bit_length() - 1
+        ra = self._reg(a, out)
+        if op == "div":
+            out.append(isa.Alu(dst, "shr", ra, isa.Imm(shift)))
+        else:  # mod
+            mask = value - 1
+            out.append(
+                isa.Alu(dst, "and", ra, self._operand(ir.Const(mask), out, True))
+            )
+
+    def _expand_mul(
+        self, dst: isa.Temp, a: ir.Atom, value: int, out: list[isa.Instr]
+    ) -> None:
+        """Shift-add decomposition for constant multipliers."""
+        if value == 0:
+            out.append(isa.Immed(dst, 0))
+            return
+        ra = self._reg(a, out)
+        if value == 1:
+            out.append(isa.Move(dst, ra))
+            return
+        bits = [i for i in range(32) if value & (1 << i)]
+        if len(bits) > 4:
+            raise SelectError(
+                f"multiplication by {value} expands to more than 4 "
+                "shift-adds; restructure the program"
+            )
+        if len(bits) == 1:
+            out.append(isa.Alu(dst, "shl", ra, isa.Imm(bits[0])))
+            return
+        partials: list[isa.Temp] = []
+        for bit in bits:
+            if bit == 0:
+                partials.append(ra)
+                continue
+            t = isa.Temp(self.gensym.fresh("mul"))
+            out.append(isa.Alu(t, "shl", ra, isa.Imm(bit)))
+            partials.append(t)
+        acc = partials[0]
+        for index, part in enumerate(partials[1:]):
+            is_last = index == len(partials) - 2
+            t = dst if is_last else isa.Temp(self.gensym.fresh("mul"))
+            out.append(isa.Alu(t, "add", acc, part))
+            acc = t
+
+    def select_special(self, term: ir.Special, out: list[isa.Instr]) -> None:
+        if term.op == "hash":
+            src = self._reg(term.args[0], out)
+            assert term.var is not None
+            out.append(isa.HashInstr(isa.Temp(term.var), src))
+            return
+        if term.op == "csr_rd":
+            number = term.args[0]
+            assert isinstance(number, ir.Const) and term.var is not None
+            out.append(isa.CsrRd(isa.Temp(term.var), number.value))
+            return
+        if term.op == "csr_wr":
+            number, value = term.args
+            assert isinstance(number, ir.Const)
+            out.append(isa.CsrWr(number.value, self._reg(value, out)))
+            return
+        if term.op == "ctx_swap":
+            out.append(isa.CtxArb())
+            return
+        if term.op in ("lock", "unlock"):
+            number = term.args[0]
+            assert isinstance(number, ir.Const)
+            out.append(isa.LockInstr(term.op, number.value))
+            return
+        raise SelectError(f"unknown special op '{term.op}'")
+
+    def emit_jump(
+        self, cont: str, args: tuple[ir.Atom, ...], out: list[isa.Instr]
+    ) -> None:
+        params = self.cont_params.get(cont)
+        if params is None:
+            raise SelectError(f"jump to unknown continuation '{cont}'")
+        if len(params) != len(args):
+            raise SelectError(
+                f"jump to '{cont}' passes {len(args)} args for "
+                f"{len(params)} params"
+            )
+        self.emit_parallel_copy(list(params), list(args), out)
+        out.append(isa.Br(cont))
+
+    def emit_parallel_copy(
+        self, dests: list[str], srcs: list[ir.Atom], out: list[isa.Instr]
+    ) -> None:
+        """``dests := srcs`` simultaneously, with cycle breaking.
+
+        Constants are deferred to the end (they cannot be overwritten);
+        register moves are ordered so no pending source is clobbered,
+        with one scratch temp per cycle.
+        """
+        pending: dict[str, str] = {}
+        const_moves: list[tuple[str, int]] = []
+        for dst, src in zip(dests, srcs):
+            if isinstance(src, ir.Const):
+                const_moves.append((dst, src.value))
+            elif src.name != dst:
+                pending[dst] = src.name
+
+        while pending:
+            ready = [
+                dst for dst in pending if dst not in pending.values()
+            ]
+            if ready:
+                for dst in ready:
+                    out.append(isa.Move(isa.Temp(dst), isa.Temp(pending[dst])))
+                    del pending[dst]
+                continue
+            # Pure cycle: break it with a temporary.
+            dst = next(iter(pending))
+            temp = self.gensym.fresh("cyc")
+            out.append(isa.Move(isa.Temp(temp), isa.Temp(dst)))
+            for d, s in pending.items():
+                if s == dst:
+                    pending[d] = temp
+        for dst, value in const_moves:
+            out.append(isa.Immed(isa.Temp(dst), value))
+
+    def select_branch(self, term: ir.If, out: list[isa.Instr]) -> None:
+        cmp = term.cmp
+        left, right = term.left, term.right
+        if isinstance(left, ir.Const) and not isinstance(right, ir.Const):
+            left, right = right, left
+            cmp = _CMP_FLIP[cmp]
+        ra = self._reg(left, out)
+        rb = self._operand(right, out, imm_ok=True)
+
+        def arm(sub: ir.Term) -> str:
+            if isinstance(sub, ir.AppCont) and not sub.args:
+                return sub.name
+            label = self.gensym.fresh("bb")
+            block = Block(label)
+            self.blocks[label] = block
+            self.select(sub, block.instrs)
+            return label
+
+        if ra == rb:
+            # Comparing a register with itself: the branch is constant.
+            taken = cmp in ("eq", "le", "ge")
+            out.append(isa.Br(arm(term.then_term if taken else term.else_term)))
+            return
+        then_label = arm(term.then_term)
+        else_label = arm(term.else_term)
+        out.append(isa.BrCmp(cmp, ra, rb, then_label, else_label))
+
+
+# --------------------------------------------------------------------------
+# Post-selection graph cleanup
+# --------------------------------------------------------------------------
+
+
+def simplify_graph(graph: FlowGraph) -> None:
+    """Thread trivial jumps, merge straight-line blocks, drop dead code."""
+    changed = True
+    while changed:
+        changed = _thread_jumps(graph) | _drop_unreachable(graph)
+        changed |= _merge_straightline(graph)
+    graph.validate()
+
+
+def _thread_jumps(graph: FlowGraph) -> bool:
+    """Redirect branches whose target block is a single ``br``."""
+    trivial: dict[str, str] = {}
+    for label, block in graph.blocks.items():
+        if len(block.instrs) == 1 and isinstance(block.terminator, isa.Br):
+            trivial[label] = block.terminator.target
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in trivial and label not in seen:
+            seen.add(label)
+            label = trivial[label]
+        return label
+
+    changed = False
+    for block in graph.blocks.values():
+        term = block.terminator
+        if isinstance(term, isa.Br):
+            target = resolve(term.target)
+            if target != term.target:
+                block.instrs[-1] = isa.Br(target)
+                changed = True
+        elif isinstance(term, isa.BrCmp):
+            then_t = resolve(term.then_target)
+            else_t = resolve(term.else_target)
+            if then_t != term.then_target or else_t != term.else_target:
+                block.instrs[-1] = isa.BrCmp(
+                    term.cmp, term.a, term.b, then_t, else_t
+                )
+                changed = True
+    return changed
+
+
+def _drop_unreachable(graph: FlowGraph) -> bool:
+    reachable: set[str] = set()
+    stack = [graph.entry]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(graph.blocks[label].successors())
+    dead = set(graph.blocks) - reachable
+    for label in dead:
+        del graph.blocks[label]
+    return bool(dead)
+
+
+def _merge_straightline(graph: FlowGraph) -> bool:
+    """Merge a block into its unique predecessor when possible."""
+    preds = graph.predecessors()
+    changed = False
+    for label in list(graph.blocks):
+        if label == graph.entry or label not in graph.blocks:
+            continue
+        pred_list = preds.get(label, [])
+        if len(pred_list) != 1:
+            continue
+        pred = pred_list[0]
+        if pred == label or pred not in graph.blocks:
+            continue
+        pred_block = graph.blocks[pred]
+        if not isinstance(pred_block.terminator, isa.Br):
+            continue
+        assert pred_block.terminator.target == label
+        pred_block.instrs.pop()
+        pred_block.instrs.extend(graph.blocks[label].instrs)
+        del graph.blocks[label]
+        preds = graph.predecessors()
+        changed = True
+    return changed

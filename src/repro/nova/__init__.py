@@ -1,0 +1,19 @@
+"""The Nova language front end: lexer, parser, layouts, types, checker."""
+
+from repro.nova.lexer import Token, TokenKind, tokenize
+from repro.nova.parser import parse_program
+from repro.nova.layouts import Layout, BitField, Overlay, Gap, Seq
+from repro.nova.typecheck import typecheck_program
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_program",
+    "Layout",
+    "BitField",
+    "Overlay",
+    "Gap",
+    "Seq",
+    "typecheck_program",
+]

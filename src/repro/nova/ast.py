@@ -1,0 +1,413 @@
+"""Abstract syntax for Nova.
+
+The surface language follows the paper (Section 3): a strict, lexically
+scoped, statically typed expression language with records, tuples,
+functions (recursion only in tail position), lexical exceptions
+(``try``/``handle``/``raise``), layouts with ``pack``/``unpack``, and
+explicit memory operations (``sram``/``sdram``/``scratch``).
+
+Assignment (``x := e``) and ``while`` loops are provided as conveniences;
+the CPS conversion eliminates assignments, establishing the SSA property
+the paper's ILP formulation relies on (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SourceSpan
+from repro.nova.layouts import LayoutExpr
+
+
+# --------------------------------------------------------------------------
+# Patterns (binding forms in let / parameters)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Pattern:
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class VarPat(Pattern):
+    """Bind a single name, optionally with a type ascription."""
+
+    name: str
+    ty: "TypeExpr | None" = None
+
+
+@dataclass
+class TuplePat(Pattern):
+    """Destructure a tuple: ``(a, b, c)``."""
+
+    elems: list[Pattern]
+
+
+@dataclass
+class RecordPat(Pattern):
+    """Destructure a record: ``[x = p1, y = p2]``.
+
+    A field given without ``= pattern`` binds a variable of the same name
+    (punning), e.g. ``[x, y]`` is ``[x = x, y = y]``.
+    """
+
+    fields: list[tuple[str, Pattern]]
+
+
+@dataclass
+class WildPat(Pattern):
+    """Ignore the value: ``_``."""
+
+
+# --------------------------------------------------------------------------
+# Type expressions (surface syntax for types)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TypeExpr:
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class WordTE(TypeExpr):
+    pass
+
+
+@dataclass
+class BoolTE(TypeExpr):
+    pass
+
+
+@dataclass
+class UnitTE(TypeExpr):
+    pass
+
+
+@dataclass
+class WordArrayTE(TypeExpr):
+    """``word[n]`` — a tuple of n words (packed data)."""
+
+    length: int
+
+
+@dataclass
+class TupleTE(TypeExpr):
+    elems: list[TypeExpr]
+
+
+@dataclass
+class RecordTE(TypeExpr):
+    fields: list[tuple[str, TypeExpr]]
+
+
+@dataclass
+class PackedTE(TypeExpr):
+    """``packed(l)`` for a layout expression l."""
+
+    layout: LayoutExpr
+
+
+@dataclass
+class UnpackedTE(TypeExpr):
+    """``unpacked(l)`` for a layout expression l."""
+
+    layout: LayoutExpr
+
+
+@dataclass
+class ExnTE(TypeExpr):
+    """``exn(t)`` — an exception carrying an argument of type t."""
+
+    arg: TypeExpr
+
+
+@dataclass
+class ArrowTE(TypeExpr):
+    """``t1 -> t2`` — functions passed as arguments."""
+
+    param: TypeExpr
+    result: TypeExpr
+
+
+# --------------------------------------------------------------------------
+# Expressions and statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class UnitLit(Expr):
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class TupleExpr(Expr):
+    elems: list[Expr]
+
+
+@dataclass
+class RecordExpr(Expr):
+    fields: list[tuple[str, Expr]]
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``e.f`` — record field projection (also tuple projection ``e.0``)."""
+
+    base: Expr
+    field_name: str
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary operators: ``-`` (negate), ``~`` (complement), ``!`` (not)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operators over words and bools.
+
+    Word ops: ``+ - * / % & | ^ << >>``; comparisons ``== != < <= > >=``;
+    bool ops ``&& ||`` (short-circuiting).
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class IfExpr(Expr):
+    cond: Expr
+    then_branch: Expr
+    else_branch: "Expr | None"
+
+
+@dataclass
+class WhileExpr(Expr):
+    """``while (cond) { body }`` — value is unit."""
+
+    cond: Expr
+    body: Expr
+
+
+@dataclass
+class Call(Expr):
+    """Function call ``f(e1, ..)`` or ``f[x=e1, ..]`` (record argument)."""
+
+    fn: str
+    arg: Expr  # TupleExpr or RecordExpr (or single-expr TupleExpr)
+
+
+@dataclass
+class Block(Expr):
+    """``{ stmt; ...; expr }`` — value is the final expression (or unit)."""
+
+    stmts: list["Stmt"]
+    result: Expr | None
+
+
+@dataclass
+class LetStmt:
+    pat: Pattern
+    init: Expr
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class AssignStmt:
+    """``x := e`` — rebind a mutable local (eliminated by SSA)."""
+
+    name: str
+    value: Expr
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class FunStmt:
+    """A nested function declaration (paper Section 3.1).
+
+    Free variables in the body refer to the enclosing scope.  Nested
+    functions may not be recursive (they are inlined at each call during
+    CPS conversion) — top-level functions cover tail recursion.
+    """
+
+    decl: "FunDecl"
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+Stmt = LetStmt | AssignStmt | ExprStmt | FunStmt
+
+
+@dataclass
+class MemRead(Expr):
+    """``sram(addr, n)`` / ``sdram(addr, n)`` / ``scratch(addr, n)``.
+
+    Reads *n* consecutive words starting at ``addr`` into an aggregate of
+    transfer registers; the value is a tuple ``word[n]``.  When the read
+    appears as the right-hand side of a tuple-pattern ``let``, *n* may be
+    omitted and is inferred from the pattern arity.
+    """
+
+    space: str  # 'sram' | 'sdram' | 'scratch'
+    addr: Expr
+    count: int | None
+
+
+@dataclass
+class MemWrite(Expr):
+    """``sram(addr) <- e`` — write an aggregate to memory; value is unit."""
+
+    space: str
+    addr: Expr
+    value: Expr
+
+
+@dataclass
+class HashOp(Expr):
+    """``hash(e)`` — the IXP hash unit; dst/src share a register number."""
+
+    operand: Expr
+
+
+@dataclass
+class CsrOp(Expr):
+    """``csr(n)`` / ``csr(n) <- e`` — access a control/status register."""
+
+    number: int
+    value: Expr | None  # None for a read
+
+
+@dataclass
+class LockOp(Expr):
+    """``lock(n)`` / ``unlock(n)`` — mutual exclusion on lock bit n.
+
+    ``lock`` spins (the thread yields to the scheduler while the lock
+    is held elsewhere); ``unlock`` releases.  Value is unit.
+    """
+
+    kind: str  # 'lock' | 'unlock'
+    number: int
+
+
+@dataclass
+class CtxSwap(Expr):
+    """``ctx_swap()`` — voluntary thread yield (concurrency control)."""
+
+
+@dataclass
+class PackExpr(Expr):
+    """``pack[l](e)`` — assemble packed words from an unpacked record."""
+
+    layout: LayoutExpr
+    arg: Expr
+
+
+@dataclass
+class UnpackExpr(Expr):
+    """``unpack[l](e)`` — spread packed words into an unpacked record."""
+
+    layout: LayoutExpr
+    arg: Expr
+
+
+@dataclass
+class RaiseExpr(Expr):
+    """``raise X(e)`` / ``raise X [f=..]`` / ``raise X()``."""
+
+    exn: str
+    arg: Expr
+
+
+@dataclass
+class Handler:
+    """One ``handle X pat { body }`` clause of a try block."""
+
+    exn: str
+    pat: Pattern
+    body: Expr
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class TryExpr(Expr):
+    """``try { body } handle X1 .. handle X2 ..``.
+
+    The handler names X1.. are in scope (as exception values) inside the
+    body, and can be passed to functions (Section 3.4).
+    """
+
+    body: Expr
+    handlers: list[Handler]
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LayoutDecl:
+    name: str
+    layout: LayoutExpr
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class FunDecl:
+    """``fun f (params) : ret { body }`` or ``fun f [fields] { body }``."""
+
+    name: str
+    param: Pattern  # TuplePat or RecordPat
+    ret: TypeExpr | None
+    body: Expr
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class Program:
+    """A whole Nova compilation unit.
+
+    ``main`` is the distinguished entry function (named ``main``); the
+    program consists of layout declarations and function declarations.
+    """
+
+    layouts: list[LayoutDecl]
+    funs: list[FunDecl]
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+    def fun(self, name: str) -> FunDecl:
+        for f in self.funs:
+            if f.name == name:
+                return f
+        raise KeyError(name)

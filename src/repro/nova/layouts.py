@@ -1,0 +1,437 @@
+"""Nova layouts: bit-level descriptions of packed data (paper Section 3.2).
+
+A *layout* statically describes the arrangement of bitfields within a byte
+stream.  Layouts are built from:
+
+- bitfields ``name : w`` (1..32 bits),
+- sequential composition ``{ f1 : w1, f2 : sub, ... }``,
+- anonymous gaps ``{n}`` (n unnamed bits),
+- references to previously defined layouts,
+- overlays ``overlay { alt1 : l1 | alt2 : l2 }`` giving alternative views
+  of the same bit range (all alternatives must have equal width), and
+- concatenation ``l1 ## l2``.
+
+For every layout ``l`` Nova defines two types: ``packed(l)`` — a word
+tuple holding the raw bits — and ``unpacked(l)`` — a record with one word
+component per bitfield (paper Section 3.2).  This module computes widths,
+resolves named references, and derives the *recipes* (shift/mask word
+operations) implementing ``unpack[l]`` and ``pack[l]``.
+
+Bit order is network order: bit 0 of a layout is the most significant bit
+of word 0 of its packed representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LayoutError, SourceSpan
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------
+# Surface layout expressions (produced by the parser)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LayoutExpr:
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class NameLE(LayoutExpr):
+    """A reference to a named layout: ``ipv6_address``."""
+
+    name: str
+
+
+@dataclass
+class GapLE(LayoutExpr):
+    """``{n}`` — an n-bit anonymous gap."""
+
+    bits: int
+
+
+@dataclass
+class SeqLE(LayoutExpr):
+    """``{ f1 : item1, ... }`` — a sequential group of named items."""
+
+    items: list[tuple[str, "LayoutExpr"]]
+
+
+@dataclass
+class BitsLE(LayoutExpr):
+    """A raw bit count used as the item of a field: ``version : 4``."""
+
+    bits: int
+
+
+@dataclass
+class OverlayLE(LayoutExpr):
+    """``overlay { a : l1 | b : l2 }`` — alternatives over one bit range."""
+
+    alts: list[tuple[str, "LayoutExpr"]]
+
+
+@dataclass
+class ConcatLE(LayoutExpr):
+    """``l1 ## l2 ## ...`` — sequential concatenation."""
+
+    parts: list["LayoutExpr"]
+
+
+# --------------------------------------------------------------------------
+# Resolved layouts
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Base class of resolved (reference-free) layouts."""
+
+    @property
+    def width(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BitField(Layout):
+    """A leaf field of 1..32 bits."""
+
+    bits: int
+
+    @property
+    def width(self) -> int:
+        return self.bits
+
+
+@dataclass(frozen=True)
+class Gap(Layout):
+    """Unnamed padding bits (no unpacked representation)."""
+
+    bits: int
+
+    @property
+    def width(self) -> int:
+        return self.bits
+
+
+@dataclass(frozen=True)
+class Seq(Layout):
+    """Sequence of named sub-layouts (gaps have the empty name ``""``)."""
+
+    fields: tuple[tuple[str, Layout], ...]
+
+    @property
+    def width(self) -> int:
+        return sum(sub.width for _, sub in self.fields)
+
+
+@dataclass(frozen=True)
+class Overlay(Layout):
+    """Alternative views of the same bit range; widths must agree."""
+
+    alts: tuple[tuple[str, Layout], ...]
+
+    @property
+    def width(self) -> int:
+        return self.alts[0][1].width
+
+
+def resolve(expr: LayoutExpr, env: dict[str, Layout]) -> Layout:
+    """Resolve a surface layout expression against named definitions.
+
+    Raises :class:`LayoutError` for unknown names, zero/oversized
+    bitfields, or overlays whose alternatives have unequal widths.
+    """
+    if isinstance(expr, NameLE):
+        if expr.name not in env:
+            raise LayoutError(f"unknown layout '{expr.name}'", expr.span)
+        return env[expr.name]
+    if isinstance(expr, GapLE):
+        if expr.bits <= 0:
+            raise LayoutError("gap width must be positive", expr.span)
+        return Gap(expr.bits)
+    if isinstance(expr, BitsLE):
+        if not 1 <= expr.bits <= WORD_BITS:
+            raise LayoutError(
+                f"bitfield width must be 1..{WORD_BITS}, got {expr.bits}",
+                expr.span,
+            )
+        return BitField(expr.bits)
+    if isinstance(expr, SeqLE):
+        fields: list[tuple[str, Layout]] = []
+        seen: set[str] = set()
+        for name, sub in expr.items:
+            if name and name in seen:
+                raise LayoutError(f"duplicate field '{name}'", expr.span)
+            seen.add(name)
+            fields.append((name, resolve(sub, env)))
+        return Seq(tuple(fields))
+    if isinstance(expr, OverlayLE):
+        alts = [(name, resolve(sub, env)) for name, sub in expr.alts]
+        if len(alts) < 2:
+            raise LayoutError("overlay needs at least two alternatives", expr.span)
+        widths = {sub.width for _, sub in alts}
+        if len(widths) != 1:
+            raise LayoutError(
+                f"overlay alternatives have unequal widths {sorted(widths)}",
+                expr.span,
+            )
+        names = [name for name, _ in alts]
+        if len(set(names)) != len(names):
+            raise LayoutError("duplicate overlay alternative name", expr.span)
+        return Overlay(tuple(alts))
+    if isinstance(expr, ConcatLE):
+        fields = []
+        for part in expr.parts:
+            sub = resolve(part, env)
+            # Concatenation splices sequences so that field names remain
+            # addressable: {a:8} ## {b:8} has fields a and b, and gaps
+            # stay anonymous.
+            if isinstance(sub, Seq):
+                fields.extend(sub.fields)
+            elif isinstance(sub, Gap):
+                fields.append(("", sub))
+            else:
+                fields.append(("", sub))
+        return Seq(tuple(fields))
+    raise LayoutError(f"unhandled layout expression {type(expr).__name__}", expr.span)
+
+
+def packed_words(layout: Layout) -> int:
+    """Number of 32-bit words in ``packed(l)`` (ceiling of width/32)."""
+    return (layout.width + WORD_BITS - 1) // WORD_BITS
+
+
+# --------------------------------------------------------------------------
+# Leaf enumeration and pack/unpack recipes
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeafField:
+    """One bitfield of a layout, with its absolute position.
+
+    ``path`` addresses the field in the unpacked record, e.g.
+    ``("src_address", "a1")``; overlay alternatives contribute their
+    alternative name as a path component.  ``offset`` is the bit offset of
+    the field's MSB from the start of the layout.
+    """
+
+    path: tuple[str, ...]
+    offset: int
+    bits: int
+
+
+def leaf_fields(layout: Layout) -> list[LeafField]:
+    """All bitfields of ``layout`` including every overlay alternative."""
+    out: list[LeafField] = []
+
+    def walk(node: Layout, path: tuple[str, ...], offset: int) -> None:
+        if isinstance(node, BitField):
+            out.append(LeafField(path, offset, node.bits))
+        elif isinstance(node, Gap):
+            pass
+        elif isinstance(node, Seq):
+            pos = offset
+            for name, sub in node.fields:
+                sub_path = path + (name,) if name else path
+                walk(sub, sub_path, pos)
+                pos += sub.width
+        elif isinstance(node, Overlay):
+            for name, sub in node.alts:
+                walk(sub, path + (name,), offset)
+        else:  # pragma: no cover - exhaustive over Layout subclasses
+            raise LayoutError(f"unhandled layout node {type(node).__name__}")
+
+    walk(layout, (), 0)
+    return out
+
+
+def overlay_groups(layout: Layout) -> list[tuple[tuple[str, ...], list[str]]]:
+    """All overlays in ``layout`` as (path-prefix, alternative names).
+
+    ``pack[l]`` requires its argument to supply exactly one alternative
+    for each group returned here.
+    """
+    out: list[tuple[tuple[str, ...], list[str]]] = []
+
+    def walk(node: Layout, path: tuple[str, ...]) -> None:
+        if isinstance(node, Seq):
+            for name, sub in node.fields:
+                walk(sub, path + (name,) if name else path)
+        elif isinstance(node, Overlay):
+            out.append((path, [name for name, _ in node.alts]))
+            for name, sub in node.alts:
+                walk(sub, path + (name,))
+
+    walk(layout, ())
+    return out
+
+
+@dataclass(frozen=True)
+class WordPart:
+    """One word-level contribution to a field extraction.
+
+    Extracted value accumulates ``((word[index] >> right_shift) & mask)
+    << left_shift`` over all parts.
+    """
+
+    index: int
+    right_shift: int
+    mask: int
+    left_shift: int
+
+
+@dataclass(frozen=True)
+class ExtractRecipe:
+    """How to compute one unpacked field from packed words."""
+
+    leaf: LeafField
+    parts: tuple[WordPart, ...]
+
+
+def extract_recipe(leaf: LeafField) -> ExtractRecipe:
+    """Shift/mask recipe reading ``leaf`` out of the packed word tuple.
+
+    A field of <= 32 bits straddles at most one word boundary, so a recipe
+    has one or two parts.
+    """
+    start, width = leaf.offset, leaf.bits
+    end = start + width
+    first_word = start // WORD_BITS
+    last_word = (end - 1) // WORD_BITS
+    parts: list[WordPart] = []
+    if first_word == last_word:
+        right = (first_word + 1) * WORD_BITS - end
+        mask = (1 << width) - 1 if width < WORD_BITS else WORD_MASK
+        parts.append(WordPart(first_word, right, mask, 0))
+    else:
+        high_bits = (first_word + 1) * WORD_BITS - start
+        low_bits = width - high_bits
+        parts.append(WordPart(first_word, 0, (1 << high_bits) - 1, low_bits))
+        parts.append(
+            WordPart(last_word, WORD_BITS - low_bits, (1 << low_bits) - 1, 0)
+        )
+    return ExtractRecipe(leaf, tuple(parts))
+
+
+@dataclass(frozen=True)
+class DepositPart:
+    """One word-level contribution when packing a field.
+
+    Word ``index`` receives ``((value >> value_shift) & mask) <<
+    word_shift``.
+    """
+
+    index: int
+    value_shift: int
+    mask: int
+    word_shift: int
+
+
+@dataclass(frozen=True)
+class DepositRecipe:
+    """How one unpacked field contributes to the packed word tuple."""
+
+    leaf: LeafField
+    parts: tuple[DepositPart, ...]
+
+
+def deposit_recipe(leaf: LeafField) -> DepositRecipe:
+    """Shift/mask recipe writing ``leaf`` into the packed word tuple."""
+    start, width = leaf.offset, leaf.bits
+    end = start + width
+    first_word = start // WORD_BITS
+    last_word = (end - 1) // WORD_BITS
+    parts: list[DepositPart] = []
+    if first_word == last_word:
+        word_shift = (first_word + 1) * WORD_BITS - end
+        mask = (1 << width) - 1 if width < WORD_BITS else WORD_MASK
+        parts.append(DepositPart(first_word, 0, mask, word_shift))
+    else:
+        high_bits = (first_word + 1) * WORD_BITS - start
+        low_bits = width - high_bits
+        parts.append(DepositPart(first_word, low_bits, (1 << high_bits) - 1, 0))
+        parts.append(
+            DepositPart(last_word, 0, (1 << low_bits) - 1, WORD_BITS - low_bits)
+        )
+    return DepositRecipe(leaf, tuple(parts))
+
+
+# --------------------------------------------------------------------------
+# Reference semantics (used by tests and the reference interpreter)
+# --------------------------------------------------------------------------
+
+
+def extract_value(words: list[int], recipe: ExtractRecipe) -> int:
+    """Apply an extraction recipe to a packed word tuple."""
+    value = 0
+    for part in recipe.parts:
+        value |= ((words[part.index] >> part.right_shift) & part.mask) << part.left_shift
+    return value & WORD_MASK
+
+
+def deposit_value(words: list[int], recipe: DepositRecipe, value: int) -> None:
+    """Apply a deposit recipe, or-ing ``value`` into ``words`` in place."""
+    for part in recipe.parts:
+        words[part.index] |= ((value >> part.value_shift) & part.mask) << part.word_shift
+        words[part.index] &= WORD_MASK
+
+
+def unpack_reference(layout: Layout, words: list[int]) -> dict[tuple[str, ...], int]:
+    """Reference implementation of ``unpack[l]``: all leaves extracted."""
+    if len(words) < packed_words(layout):
+        raise LayoutError(
+            f"unpack needs {packed_words(layout)} words, got {len(words)}"
+        )
+    return {
+        leaf.path: extract_value(words, extract_recipe(leaf))
+        for leaf in leaf_fields(layout)
+    }
+
+
+def pack_reference(
+    layout: Layout, values: dict[tuple[str, ...], int]
+) -> list[int]:
+    """Reference implementation of ``pack[l]``.
+
+    ``values`` must supply every non-overlay leaf and exactly one
+    alternative per overlay (identified by the alternative's leaves being
+    present).
+    """
+    words = [0] * packed_words(layout)
+    groups = overlay_groups(layout)
+    chosen: dict[tuple[str, ...], str] = {}
+    for prefix, alt_names in groups:
+        present = [
+            name
+            for name in alt_names
+            if any(path[: len(prefix) + 1] == prefix + (name,) for path in values)
+        ]
+        if len(present) != 1:
+            raise LayoutError(
+                f"pack: overlay at {'.'.join(prefix) or '<root>'} needs exactly "
+                f"one alternative, got {present or 'none'}"
+            )
+        chosen[prefix] = present[0]
+
+    def selected(path: tuple[str, ...]) -> bool:
+        for prefix, alt in chosen.items():
+            if path[: len(prefix)] == prefix and len(path) > len(prefix):
+                # Inside this overlay's subtree: must be the chosen alt.
+                if path[len(prefix)] != alt:
+                    return False
+        return True
+
+    for leaf in leaf_fields(layout):
+        if not selected(leaf.path):
+            continue
+        if leaf.path not in values:
+            raise LayoutError(f"pack: missing field {'.'.join(leaf.path)}")
+        deposit_value(words, deposit_recipe(leaf), values[leaf.path])
+    return words

@@ -1,0 +1,260 @@
+"""Lexer for the Nova language.
+
+Nova's token set is small: identifiers, integer literals (decimal, hex and
+binary), a fixed set of keywords, and punctuation/operators including the
+layout-concatenation operator ``##`` and the memory-write arrow ``<-``.
+
+Comments are C-style: ``// ...`` to end of line and ``/* ... */`` (which
+may span lines but does not nest).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError, SourcePos, SourceSpan
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    INT = "int"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "layout",
+        "overlay",
+        "fun",
+        "let",
+        "if",
+        "else",
+        "while",
+        "try",
+        "handle",
+        "raise",
+        "pack",
+        "unpack",
+        "true",
+        "false",
+        "word",
+        "bool",
+        "unit",
+        "exn",
+        "packed",
+        "unpacked",
+        "sram",
+        "sdram",
+        "scratch",
+        "rfifo",
+        "tfifo",
+        "hash",
+        "csr",
+        "ctx_swap",
+        "lock",
+        "unlock",
+        "return",
+    }
+)
+
+# Multi-character operators must be listed before their prefixes so that
+# maximal-munch scanning picks the longest match.
+PUNCTUATION = (
+    "<<=",
+    ">>=",
+    "<-",
+    "##",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    ":=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source span."""
+
+    kind: TokenKind
+    text: str
+    span: SourceSpan
+    value: int | None = None  # only for INT tokens
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<eof>"
+        return self.text
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class _Scanner:
+    """Stateful cursor over source text tracking line/column."""
+
+    def __init__(self, text: str, filename: str):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.text):
+            return "\0"
+        return self.text[index]
+
+    def advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.at_end():
+                return
+            if self.text[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def here(self) -> SourcePos:
+        return SourcePos(self.line, self.col)
+
+    def span_from(self, start: SourcePos) -> SourceSpan:
+        return SourceSpan(start, self.here(), self.filename)
+
+
+def _skip_trivia(scanner: _Scanner) -> None:
+    """Skip whitespace and comments; raise on unterminated block comment."""
+    while not scanner.at_end():
+        ch = scanner.peek()
+        if ch in " \t\r\n":
+            scanner.advance()
+        elif ch == "/" and scanner.peek(1) == "/":
+            while not scanner.at_end() and scanner.peek() != "\n":
+                scanner.advance()
+        elif ch == "/" and scanner.peek(1) == "*":
+            start = scanner.here()
+            scanner.advance(2)
+            while not (scanner.peek() == "*" and scanner.peek(1) == "/"):
+                if scanner.at_end():
+                    raise LexError(
+                        "unterminated block comment",
+                        scanner.span_from(start),
+                    )
+                scanner.advance()
+            scanner.advance(2)
+        else:
+            return
+
+
+def _scan_number(scanner: _Scanner) -> Token:
+    start = scanner.here()
+    text_start = scanner.pos
+    if scanner.peek() == "0" and scanner.peek(1) in "xX":
+        scanner.advance(2)
+        if not (scanner.peek().isdigit() or scanner.peek().lower() in "abcdef"):
+            raise LexError("malformed hex literal", scanner.span_from(start))
+        while scanner.peek().isdigit() or scanner.peek().lower() in "abcdef":
+            scanner.advance()
+        text = scanner.text[text_start : scanner.pos]
+        return Token(TokenKind.INT, text, scanner.span_from(start), int(text, 16))
+    if scanner.peek() == "0" and scanner.peek(1) in "bB":
+        scanner.advance(2)
+        if scanner.peek() not in "01":
+            raise LexError("malformed binary literal", scanner.span_from(start))
+        while scanner.peek() in "01":
+            scanner.advance()
+        text = scanner.text[text_start : scanner.pos]
+        return Token(TokenKind.INT, text, scanner.span_from(start), int(text, 2))
+    while scanner.peek().isdigit():
+        scanner.advance()
+    if _is_ident_start(scanner.peek()):
+        raise LexError(
+            f"identifier may not start with a digit: {scanner.peek()!r}",
+            scanner.span_from(start),
+        )
+    text = scanner.text[text_start : scanner.pos]
+    return Token(TokenKind.INT, text, scanner.span_from(start), int(text, 10))
+
+
+def tokenize(text: str, filename: str = "<nova>") -> list[Token]:
+    """Convert Nova source text into a token list ending with an EOF token.
+
+    Raises :class:`repro.errors.LexError` on malformed input.
+    """
+    scanner = _Scanner(text, filename)
+    tokens: list[Token] = []
+    while True:
+        _skip_trivia(scanner)
+        if scanner.at_end():
+            break
+        start = scanner.here()
+        ch = scanner.peek()
+        if ch.isdigit():
+            tokens.append(_scan_number(scanner))
+            continue
+        if _is_ident_start(ch):
+            text_start = scanner.pos
+            while _is_ident_char(scanner.peek()):
+                scanner.advance()
+            word = scanner.text[text_start : scanner.pos]
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, scanner.span_from(start)))
+            continue
+        for punct in PUNCTUATION:
+            if scanner.text.startswith(punct, scanner.pos):
+                scanner.advance(len(punct))
+                tokens.append(Token(TokenKind.PUNCT, punct, scanner.span_from(start)))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", scanner.span_from(start))
+    eof_span = SourceSpan(scanner.here(), scanner.here(), filename)
+    tokens.append(Token(TokenKind.EOF, "", eof_span))
+    return tokens

@@ -1,0 +1,812 @@
+"""Type checker and elaborator for Nova.
+
+Checks the two-layer static semantics (types + layouts, paper Sections
+1.2 and 3) and annotates the AST in place for the CPS converter:
+
+- every expression node gets a ``ty`` attribute (a :mod:`repro.nova.types`
+  value),
+- ``MemRead`` nodes get their inferred aggregate ``count``,
+- ``PackExpr``/``UnpackExpr`` nodes get their ``resolved_layout``,
+- the tail-call restriction is enforced: recursive calls (any call cycle)
+  are only legal in tail position, which is what lets Nova run without a
+  stack (Section 3.1).
+
+The checker is deliberately monomorphic — Nova has no polymorphism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TypeError_
+from repro.nova import ast
+from repro.nova import layouts as lay
+from repro.nova import types as ty
+
+# Aggregate size limits (paper Section 5.2): SRAM/scratch reads and writes
+# move 1..8 words; SDRAM transfers always move an even number (2,4,6,8).
+MAX_AGGREGATE = 8
+_SDRAM_COUNTS = (2, 4, 6, 8)
+
+
+@dataclass(frozen=True)
+class _BottomTy(ty.Type):
+    """The type of expressions that never return (``raise``)."""
+
+    def flat_width(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "bottom"
+
+
+BOTTOM = _BottomTy()
+
+
+def compatible(a: ty.Type, b: ty.Type) -> bool:
+    return a == b or a == BOTTOM or b == BOTTOM
+
+
+def join(a: ty.Type, b: ty.Type) -> ty.Type | None:
+    """Least upper type of two branch types, or None if incompatible."""
+    if a == BOTTOM:
+        return b
+    if b == BOTTOM:
+        return a
+    if a == b:
+        return a
+    return None
+
+
+@dataclass
+class VarInfo:
+    type: ty.Type
+    mutable: bool
+
+
+@dataclass
+class FunSig:
+    param: ty.Type
+    ret: ty.Type | None
+    decl: ast.FunDecl
+
+
+@dataclass
+class CallSite:
+    caller: str
+    callee: str
+    tail: bool
+    expr: ast.Call
+
+
+@dataclass
+class TypedProgram:
+    """The result of type checking: the annotated AST plus environments."""
+
+    program: ast.Program
+    layout_env: dict[str, lay.Layout]
+    sigs: dict[str, FunSig]
+    calls: list[CallSite] = field(default_factory=list)
+
+    def return_type(self, name: str) -> ty.Type:
+        ret = self.sigs[name].ret
+        assert ret is not None
+        return ret
+
+
+_WORD_BINOPS = frozenset({"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"})
+_CMP_BINOPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+_BOOL_BINOPS = frozenset({"&&", "||"})
+
+
+class _Checker:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.layout_env: dict[str, lay.Layout] = {}
+        self.sigs: dict[str, FunSig] = {}
+        self.calls: list[CallSite] = []
+        self.scopes: list[dict[str, VarInfo]] = []
+        self.current_fun = ""
+        # Names bound outside each lexically enclosing try body; used to
+        # reject assignments that would make handler entry states
+        # path-dependent (handlers are continuations taking only the
+        # exception arguments).
+        self.try_outer: list[set[str]] = []
+
+    # -- scope handling ----------------------------------------------------
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def bind(self, name: str, info: VarInfo, span) -> None:
+        self.scopes[-1][name] = info
+
+    def lookup(self, name: str) -> VarInfo | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- layout / type elaboration ------------------------------------------
+
+    def resolve_layout(self, expr: lay.LayoutExpr) -> lay.Layout:
+        return lay.resolve(expr, self.layout_env)
+
+    def elab_type(self, te: ast.TypeExpr) -> ty.Type:
+        if isinstance(te, ast.WordTE):
+            return ty.WORD
+        if isinstance(te, ast.BoolTE):
+            return ty.BOOL
+        if isinstance(te, ast.UnitTE):
+            return ty.UNIT
+        if isinstance(te, ast.WordArrayTE):
+            return ty.word_tuple(te.length)
+        if isinstance(te, ast.TupleTE):
+            return ty.Tuple(tuple(self.elab_type(e) for e in te.elems))
+        if isinstance(te, ast.RecordTE):
+            return ty.Record(
+                tuple((name, self.elab_type(sub)) for name, sub in te.fields)
+            )
+        if isinstance(te, ast.PackedTE):
+            return ty.packed_type(self.resolve_layout(te.layout))
+        if isinstance(te, ast.UnpackedTE):
+            return ty.unpacked_type(self.resolve_layout(te.layout))
+        if isinstance(te, ast.ExnTE):
+            return ty.Exn(self.elab_type(te.arg))
+        if isinstance(te, ast.ArrowTE):
+            return ty.Arrow(self.elab_type(te.param), self.elab_type(te.result))
+        raise TypeError_(f"unhandled type expression {type(te).__name__}", te.span)
+
+    # -- patterns -------------------------------------------------------------
+
+    def pattern_type(self, pat: ast.Pattern) -> ty.Type:
+        """Type of a parameter pattern; unannotated variables are words."""
+        if isinstance(pat, ast.VarPat):
+            return self.elab_type(pat.ty) if pat.ty is not None else ty.WORD
+        if isinstance(pat, ast.WildPat):
+            return ty.WORD
+        if isinstance(pat, ast.TuplePat):
+            if not pat.elems:
+                return ty.UNIT
+            if len(pat.elems) == 1:
+                return self.pattern_type(pat.elems[0])
+            return ty.Tuple(tuple(self.pattern_type(p) for p in pat.elems))
+        if isinstance(pat, ast.RecordPat):
+            return ty.Record(
+                tuple((name, self.pattern_type(p)) for name, p in pat.fields)
+            )
+        raise TypeError_(f"unhandled pattern {type(pat).__name__}", pat.span)
+
+    def bind_pattern(self, pat: ast.Pattern, t: ty.Type, mutable: bool) -> None:
+        """Destructure type ``t`` against ``pat``, binding variables."""
+        if isinstance(pat, ast.WildPat):
+            return
+        if isinstance(pat, ast.VarPat):
+            if pat.ty is not None:
+                declared = self.elab_type(pat.ty)
+                if not compatible(declared, t):
+                    raise TypeError_(
+                        f"pattern ascription {declared} does not match {t}",
+                        pat.span,
+                    )
+                t = declared
+            self.bind(pat.name, VarInfo(t, mutable), pat.span)
+            return
+        if isinstance(pat, ast.TuplePat):
+            if isinstance(t, ty.Unit) and not pat.elems:
+                return
+            if len(pat.elems) == 1 and not (
+                isinstance(t, ty.Tuple) and len(t.elems) == 1
+            ):
+                # Singleton tuple patterns unwrap (parameter lists).
+                self.bind_pattern(pat.elems[0], t, mutable)
+                return
+            if not isinstance(t, ty.Tuple) or len(t.elems) != len(pat.elems):
+                raise TypeError_(f"tuple pattern does not match {t}", pat.span)
+            for sub, sub_t in zip(pat.elems, t.elems):
+                self.bind_pattern(sub, sub_t, mutable)
+            return
+        if isinstance(pat, ast.RecordPat):
+            if not isinstance(t, ty.Record):
+                raise TypeError_(f"record pattern does not match {t}", pat.span)
+            for name, sub in pat.fields:
+                sub_t = t.field(name)
+                if sub_t is None:
+                    raise TypeError_(f"no field '{name}' in {t}", pat.span)
+                self.bind_pattern(sub, sub_t, mutable)
+            return
+        raise TypeError_(f"unhandled pattern {type(pat).__name__}", pat.span)
+
+    # -- expressions ------------------------------------------------------------
+
+    def check(self, expr: ast.Expr, tail: bool = False) -> ty.Type:
+        t = self._check(expr, tail)
+        expr.ty = t  # annotate in place for the CPS converter
+        return t
+
+    def _check(self, expr: ast.Expr, tail: bool) -> ty.Type:
+        if isinstance(expr, ast.IntLit):
+            if not 0 <= expr.value < 2**32:
+                if -(2**31) <= expr.value < 0:
+                    expr.value &= 0xFFFFFFFF
+                else:
+                    raise TypeError_(
+                        f"integer literal {expr.value} out of 32-bit range",
+                        expr.span,
+                    )
+            return ty.WORD
+        if isinstance(expr, ast.BoolLit):
+            return ty.BOOL
+        if isinstance(expr, ast.UnitLit):
+            return ty.UNIT
+        if isinstance(expr, ast.VarRef):
+            info = self.lookup(expr.name)
+            if info is None:
+                raise TypeError_(f"unbound variable '{expr.name}'", expr.span)
+            return info.type
+        if isinstance(expr, ast.TupleExpr):
+            return ty.Tuple(tuple(self.check(e) for e in expr.elems))
+        if isinstance(expr, ast.RecordExpr):
+            seen: set[str] = set()
+            fields = []
+            for name, e in expr.fields:
+                if name in seen:
+                    raise TypeError_(f"duplicate record field '{name}'", expr.span)
+                seen.add(name)
+                fields.append((name, self.check(e)))
+            return ty.Record(tuple(fields))
+        if isinstance(expr, ast.FieldAccess):
+            base = self.check(expr.base)
+            if isinstance(base, ty.Record):
+                sub = base.field(expr.field_name)
+                if sub is None:
+                    raise TypeError_(
+                        f"no field '{expr.field_name}' in {base}", expr.span
+                    )
+                return sub
+            if isinstance(base, ty.Tuple):
+                try:
+                    index = int(expr.field_name)
+                except ValueError:
+                    raise TypeError_(
+                        f"tuple projection needs an index, got "
+                        f"'.{expr.field_name}'",
+                        expr.span,
+                    ) from None
+                if not 0 <= index < len(base.elems):
+                    raise TypeError_(
+                        f"tuple index {index} out of range for {base}", expr.span
+                    )
+                return base.elems[index]
+            raise TypeError_(f"cannot project from {base}", expr.span)
+        if isinstance(expr, ast.UnOp):
+            operand = self.check(expr.operand)
+            if expr.op == "!":
+                if operand != ty.BOOL:
+                    raise TypeError_(f"'!' needs bool, got {operand}", expr.span)
+                return ty.BOOL
+            if operand != ty.WORD:
+                raise TypeError_(
+                    f"'{expr.op}' needs word, got {operand}", expr.span
+                )
+            return ty.WORD
+        if isinstance(expr, ast.BinOp):
+            return self._check_binop(expr)
+        if isinstance(expr, ast.IfExpr):
+            cond = self.check(expr.cond)
+            if cond != ty.BOOL:
+                raise TypeError_(f"if condition must be bool, got {cond}", expr.span)
+            then_t = self.check(expr.then_branch, tail)
+            if expr.else_branch is None:
+                if then_t not in (ty.UNIT, BOTTOM):
+                    raise TypeError_(
+                        f"if without else must have unit body, got {then_t}",
+                        expr.span,
+                    )
+                return ty.UNIT
+            else_t = self.check(expr.else_branch, tail)
+            joined = join(then_t, else_t)
+            if joined is None:
+                raise TypeError_(
+                    f"if branches disagree: {then_t} vs {else_t}", expr.span
+                )
+            return joined
+        if isinstance(expr, ast.WhileExpr):
+            cond = self.check(expr.cond)
+            if cond != ty.BOOL:
+                raise TypeError_(
+                    f"while condition must be bool, got {cond}", expr.span
+                )
+            self.check(expr.body)
+            return ty.UNIT
+        if isinstance(expr, ast.Block):
+            return self._check_block(expr, tail)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, tail)
+        if isinstance(expr, ast.MemRead):
+            return self._check_mem_read(expr)
+        if isinstance(expr, ast.MemWrite):
+            return self._check_mem_write(expr)
+        if isinstance(expr, ast.HashOp):
+            operand = self.check(expr.operand)
+            if operand != ty.WORD:
+                raise TypeError_(f"hash needs word, got {operand}", expr.span)
+            return ty.WORD
+        if isinstance(expr, ast.CsrOp):
+            if expr.value is None:
+                return ty.WORD
+            value = self.check(expr.value)
+            if value != ty.WORD:
+                raise TypeError_(f"csr write needs word, got {value}", expr.span)
+            return ty.UNIT
+        if isinstance(expr, ast.CtxSwap):
+            return ty.UNIT
+        if isinstance(expr, ast.LockOp):
+            if not 0 <= expr.number < 16:
+                raise TypeError_(
+                    f"lock number must be 0..15, got {expr.number}", expr.span
+                )
+            return ty.UNIT
+        if isinstance(expr, ast.UnpackExpr):
+            return self._check_unpack(expr)
+        if isinstance(expr, ast.PackExpr):
+            return self._check_pack(expr)
+        if isinstance(expr, ast.RaiseExpr):
+            return self._check_raise(expr)
+        if isinstance(expr, ast.TryExpr):
+            return self._check_try(expr, tail)
+        raise TypeError_(f"unhandled expression {type(expr).__name__}", expr.span)
+
+    def _check_binop(self, expr: ast.BinOp) -> ty.Type:
+        left = self.check(expr.left)
+        right = self.check(expr.right)
+        if expr.op in _BOOL_BINOPS:
+            if left != ty.BOOL or right != ty.BOOL:
+                raise TypeError_(
+                    f"'{expr.op}' needs bools, got {left} and {right}", expr.span
+                )
+            return ty.BOOL
+        if expr.op in _CMP_BINOPS:
+            if expr.op in ("==", "!=") and left == ty.BOOL and right == ty.BOOL:
+                return ty.BOOL
+            if left != ty.WORD or right != ty.WORD:
+                raise TypeError_(
+                    f"'{expr.op}' needs words, got {left} and {right}", expr.span
+                )
+            return ty.BOOL
+        if expr.op in _WORD_BINOPS:
+            if left != ty.WORD or right != ty.WORD:
+                raise TypeError_(
+                    f"'{expr.op}' needs words, got {left} and {right}", expr.span
+                )
+            return ty.WORD
+        raise TypeError_(f"unknown operator '{expr.op}'", expr.span)
+
+    def _check_block(self, block: ast.Block, tail: bool) -> ty.Type:
+        self.push()
+        try:
+            diverged = False
+            for stmt in block.stmts:
+                if isinstance(stmt, ast.FunStmt):
+                    self._check_nested_fun(stmt)
+                elif isinstance(stmt, ast.LetStmt):
+                    self._check_let(stmt)
+                elif isinstance(stmt, ast.AssignStmt):
+                    info = self.lookup(stmt.name)
+                    if info is None:
+                        raise TypeError_(
+                            f"assignment to unbound '{stmt.name}'", stmt.span
+                        )
+                    if not info.mutable:
+                        raise TypeError_(
+                            f"'{stmt.name}' is not assignable", stmt.span
+                        )
+                    for outer in self.try_outer:
+                        if stmt.name in outer:
+                            raise TypeError_(
+                                f"assignment to '{stmt.name}' inside a try "
+                                "body, but it is declared outside: "
+                                "handlers would see a path-dependent "
+                                "value",
+                                stmt.span,
+                            )
+                    value = self.check(stmt.value)
+                    if not compatible(value, info.type):
+                        raise TypeError_(
+                            f"assignment type {value} does not match "
+                            f"{info.type}",
+                            stmt.span,
+                        )
+                else:
+                    t = self.check(stmt.expr)
+                    if t == BOTTOM:
+                        diverged = True
+            if block.result is None:
+                return BOTTOM if diverged else ty.UNIT
+            return self.check(block.result, tail)
+        finally:
+            self.pop()
+
+    def _check_nested_fun(self, stmt: ast.FunStmt) -> None:
+        """Nested functions close over the enclosing scope and are bound
+        as arrow-typed values.  The name is bound *after* the body is
+        checked, so nested functions cannot recurse (they are inlined at
+        every call site during conversion)."""
+        decl = stmt.decl
+        param_t = self.pattern_type(decl.param)
+        self.push()
+        try:
+            self.bind_pattern(decl.param, param_t, mutable=True)
+            body_t = self.check(decl.body, tail=False)
+        finally:
+            self.pop()
+        if decl.ret is not None:
+            declared = self.elab_type(decl.ret)
+            if not compatible(body_t, declared):
+                raise TypeError_(
+                    f"nested function '{decl.name}' declares {declared} "
+                    f"but its body has type {body_t}",
+                    decl.span,
+                )
+            body_t = declared
+        if body_t == BOTTOM:
+            body_t = ty.UNIT
+        self.bind(
+            decl.name, VarInfo(ty.Arrow(param_t, body_t), False), decl.span
+        )
+
+    def _check_let(self, stmt: ast.LetStmt) -> None:
+        init = stmt.init
+        # Infer memory-read aggregate counts from the pattern arity.
+        if isinstance(init, ast.MemRead) and init.count is None:
+            if isinstance(stmt.pat, ast.TuplePat):
+                init.count = len(stmt.pat.elems)
+            else:
+                init.count = 1
+        t = self.check(init)
+        self.bind_pattern(stmt.pat, t, mutable=True)
+
+    def _check_call(self, expr: ast.Call, tail: bool) -> ty.Type:
+        arg_t = self.check(expr.arg)
+        info = self.lookup(expr.fn)
+        if info is not None:
+            if not isinstance(info.type, ty.Arrow):
+                raise TypeError_(
+                    f"'{expr.fn}' is not callable (type {info.type})", expr.span
+                )
+            if not compatible(arg_t, info.type.param):
+                raise TypeError_(
+                    f"argument {arg_t} does not match parameter "
+                    f"{info.type.param}",
+                    expr.span,
+                )
+            return info.type.result
+        sig = self.sigs.get(expr.fn)
+        if sig is None:
+            raise TypeError_(f"unknown function '{expr.fn}'", expr.span)
+        if not compatible(arg_t, sig.param):
+            raise TypeError_(
+                f"argument {arg_t} does not match parameter {sig.param} "
+                f"of '{expr.fn}'",
+                expr.span,
+            )
+        self.calls.append(CallSite(self.current_fun, expr.fn, tail, expr))
+        if sig.ret is None:
+            raise TypeError_(
+                f"call to '{expr.fn}' before its return type is known; "
+                "declare the return type",
+                expr.span,
+            )
+        return sig.ret
+
+    def _check_mem_read(self, expr: ast.MemRead) -> ty.Type:
+        if expr.space == "tfifo":
+            raise TypeError_(
+                "the transmit FIFO is write-only", expr.span
+            )
+        addr = self.check(expr.addr)
+        if addr != ty.WORD:
+            raise TypeError_(f"address must be word, got {addr}", expr.span)
+        count = expr.count
+        if count is None:
+            count = 1
+            expr.count = 1
+        self._check_aggregate_count(expr.space, count, expr.span)
+        return ty.word_tuple(count)
+
+    def _check_mem_write(self, expr: ast.MemWrite) -> ty.Type:
+        if expr.space == "rfifo":
+            raise TypeError_(
+                "the receive FIFO is read-only", expr.span
+            )
+        addr = self.check(expr.addr)
+        if addr != ty.WORD:
+            raise TypeError_(f"address must be word, got {addr}", expr.span)
+        value = self.check(expr.value)
+        count = value.flat_width()
+        if not all(
+            leaf_t == ty.WORD
+            for _, leaf_t in ty.flatten_paths(value)
+        ):
+            raise TypeError_(
+                f"memory write needs words, got {value}", expr.span
+            )
+        self._check_aggregate_count(expr.space, count, expr.span)
+        return ty.UNIT
+
+    def _check_aggregate_count(self, space: str, count: int, span) -> None:
+        if space == "sdram":
+            if count not in _SDRAM_COUNTS:
+                raise TypeError_(
+                    f"sdram transfers move 2, 4, 6 or 8 words, got {count}",
+                    span,
+                )
+        elif not 1 <= count <= MAX_AGGREGATE:
+            raise TypeError_(
+                f"{space} transfers move 1..{MAX_AGGREGATE} words, "
+                f"got {count}",
+                span,
+            )
+
+    def _check_unpack(self, expr: ast.UnpackExpr) -> ty.Type:
+        layout = self.resolve_layout(expr.layout)
+        expr.resolved_layout = layout
+        arg = self.check(expr.arg)
+        expected = ty.packed_type(layout)
+        if not compatible(arg, expected):
+            raise TypeError_(
+                f"unpack expects {expected} (= packed data of "
+                f"{lay.packed_words(layout)} words), got {arg}",
+                expr.span,
+            )
+        return ty.unpacked_type(layout)
+
+    def _check_pack(self, expr: ast.PackExpr) -> ty.Type:
+        layout = self.resolve_layout(expr.layout)
+        expr.resolved_layout = layout
+        groups = lay.overlay_groups(layout)
+        arg_t = self.check(expr.arg)
+        if isinstance(expr.arg, ast.RecordExpr):
+            chosen = self._pack_selection(layout, arg_t, groups, expr)
+        else:
+            if groups:
+                raise TypeError_(
+                    "pack of a layout with overlays requires a record "
+                    "literal selecting one alternative per overlay",
+                    expr.span,
+                )
+            expected = ty.unpacked_type(layout)
+            if not compatible(arg_t, expected):
+                raise TypeError_(
+                    f"pack expects {expected}, got {arg_t}", expr.span
+                )
+            chosen = {}
+        expr.chosen_alts = chosen
+        return ty.packed_type(layout)
+
+    def _pack_selection(
+        self,
+        layout: lay.Layout,
+        arg_t: ty.Type,
+        groups: list[tuple[tuple[str, ...], list[str]]],
+        expr: ast.PackExpr,
+    ) -> dict[tuple[str, ...], str]:
+        """Check a pack record literal and record which overlay
+        alternatives it selects (paper Section 3.2: packing takes input
+        corresponding to precisely one alternative of each overlay)."""
+
+        def paths_of(t: ty.Type, prefix: tuple[str, ...]) -> set[tuple[str, ...]]:
+            return {prefix + p for p, _ in ty.flatten_paths(t)}
+
+        provided = paths_of(arg_t, ())
+        chosen: dict[tuple[str, ...], str] = {}
+        for prefix, alt_names in groups:
+            present = [
+                name
+                for name in alt_names
+                if any(
+                    p[: len(prefix) + 1] == prefix + (name,) for p in provided
+                )
+            ]
+            if len(present) != 1:
+                raise TypeError_(
+                    f"pack: overlay at '{'.'.join(prefix) or '<root>'}' "
+                    f"needs exactly one alternative, got "
+                    f"{present or 'none'}",
+                    expr.span,
+                )
+            chosen[prefix] = present[0]
+        # Every selected leaf must be provided as a word.
+        required: set[tuple[str, ...]] = set()
+        for leaf in lay.leaf_fields(layout):
+            skip = False
+            for prefix, alt in chosen.items():
+                if (
+                    leaf.path[: len(prefix)] == prefix
+                    and len(leaf.path) > len(prefix)
+                    and leaf.path[len(prefix)] != alt
+                ):
+                    skip = True
+                    break
+            if not skip:
+                required.add(leaf.path)
+        missing = required - provided
+        if missing:
+            pretty = ", ".join(".".join(p) for p in sorted(missing))
+            raise TypeError_(f"pack: missing fields {pretty}", expr.span)
+        extra = provided - required
+        if extra:
+            pretty = ", ".join(".".join(p) for p in sorted(extra))
+            raise TypeError_(f"pack: unknown fields {pretty}", expr.span)
+        return chosen
+
+    def _check_raise(self, expr: ast.RaiseExpr) -> ty.Type:
+        info = self.lookup(expr.exn)
+        if info is None:
+            raise TypeError_(f"unbound exception '{expr.exn}'", expr.span)
+        if not isinstance(info.type, ty.Exn):
+            raise TypeError_(
+                f"'{expr.exn}' is not an exception (type {info.type})",
+                expr.span,
+            )
+        arg = self.check(expr.arg)
+        if not compatible(arg, info.type.arg):
+            raise TypeError_(
+                f"raise argument {arg} does not match {info.type.arg}",
+                expr.span,
+            )
+        return BOTTOM
+
+    def _check_try(self, expr: ast.TryExpr, tail: bool) -> ty.Type:
+        # Handler parameter types define the exception types; the names
+        # are in scope inside the try body.
+        self.push()
+        try:
+            handler_types = []
+            seen: set[str] = set()
+            for handler in expr.handlers:
+                if handler.exn in seen:
+                    raise TypeError_(
+                        f"duplicate handler '{handler.exn}'", handler.span
+                    )
+                seen.add(handler.exn)
+                arg_t = self.pattern_type(handler.pat)
+                handler_types.append(arg_t)
+                self.bind(handler.exn, VarInfo(ty.Exn(arg_t), False), handler.span)
+            outer_names = {name for scope in self.scopes for name in scope}
+            self.try_outer.append(outer_names)
+            try:
+                body_t = self.check(expr.body, tail)
+            finally:
+                self.try_outer.pop()
+            result = body_t
+            for handler, arg_t in zip(expr.handlers, handler_types):
+                self.push()
+                try:
+                    self.bind_pattern(handler.pat, arg_t, mutable=True)
+                    h_t = self.check(handler.body, tail)
+                finally:
+                    self.pop()
+                joined = join(result, h_t)
+                if joined is None:
+                    raise TypeError_(
+                        f"handler '{handler.exn}' returns {h_t}, but try "
+                        f"block has type {result}",
+                        handler.span,
+                    )
+                result = joined
+            return result
+        finally:
+            self.pop()
+
+    # -- declarations ---------------------------------------------------------
+
+    def run(self) -> TypedProgram:
+        for decl in self.program.layouts:
+            if decl.name in self.layout_env:
+                raise TypeError_(f"duplicate layout '{decl.name}'", decl.span)
+            self.layout_env[decl.name] = self.resolve_layout(decl.layout)
+        for fun in self.program.funs:
+            if fun.name in self.sigs:
+                raise TypeError_(f"duplicate function '{fun.name}'", fun.span)
+            param_t = self.pattern_type(fun.param)
+            ret_t = self.elab_type(fun.ret) if fun.ret is not None else None
+            self.sigs[fun.name] = FunSig(param_t, ret_t, fun)
+        for fun in self.program.funs:
+            self.current_fun = fun.name
+            self.push()
+            try:
+                self.bind_pattern(fun.param, self.sigs[fun.name].param, True)
+                body_t = self.check(fun.body, tail=True)
+            finally:
+                self.pop()
+            sig = self.sigs[fun.name]
+            if sig.ret is None:
+                sig.ret = ty.UNIT if body_t == BOTTOM else body_t
+            elif not compatible(body_t, sig.ret):
+                raise TypeError_(
+                    f"function '{fun.name}' declares {sig.ret} but its "
+                    f"body has type {body_t}",
+                    fun.span,
+                )
+        self._check_tail_restriction()
+        return TypedProgram(self.program, self.layout_env, self.sigs, self.calls)
+
+    def _check_tail_restriction(self) -> None:
+        """Recursive calls must be tail calls (paper Section 3.1).
+
+        We compute strongly connected components of the call graph; any
+        non-tail call between two functions in the same component would
+        require a stack, which Nova forbids.
+        """
+        adjacency: dict[str, set[str]] = {name: set() for name in self.sigs}
+        for call in self.calls:
+            adjacency[call.caller].add(call.callee)
+        component = _tarjan_components(adjacency)
+        for call in self.calls:
+            if component[call.caller] == component[call.callee] and not call.tail:
+                raise TypeError_(
+                    f"recursive call from '{call.caller}' to "
+                    f"'{call.callee}' is not in tail position; Nova has "
+                    "no stack",
+                    call.expr.span,
+                )
+
+
+def _tarjan_components(adjacency: dict[str, set[str]]) -> dict[str, int]:
+    """Map each node to an SCC id (iterative Tarjan)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    component: dict[str, int] = {}
+    counter = [0]
+    comp_id = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(adjacency[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adjacency[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_id[0]
+                    if member == node:
+                        break
+                comp_id[0] += 1
+
+    for node in adjacency:
+        if node not in index:
+            strongconnect(node)
+    return component
+
+
+def typecheck_program(program: ast.Program) -> TypedProgram:
+    """Type check a parsed Nova program, annotating the AST in place."""
+    return _Checker(program).run()

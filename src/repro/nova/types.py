@@ -1,0 +1,185 @@
+"""Semantic types for Nova.
+
+The paper stratifies Nova's static semantics into *types* and *layouts*
+(Section 1.2).  This module is the type layer.  Its grammar is small:
+
+- ``word`` — one 32-bit machine word (one register),
+- ``bool`` — compiled to control flow, never materialized,
+- tuples and records — compile-time aggregates that the CPS converter
+  flattens into individual word variables,
+- ``exn(t)`` — a lexically scoped exception carrying a ``t``,
+- ``t1 -> t2`` — functions passed as arguments (always fully inlined).
+
+``packed(l)`` *is* ``word[n]`` (a word tuple) and ``unpacked(l)`` *is* a
+record type, so both normalize away at type-construction time; type
+equality is purely structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nova import layouts as lay
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of semantic types."""
+
+    def flat_width(self) -> int:
+        """Number of word-sized leaves after record/tuple flattening.
+
+        Bools count as one leaf (they occupy a register only when a
+        data representation is forced); units count as zero.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Word(Type):
+    def flat_width(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "word"
+
+
+@dataclass(frozen=True)
+class Bool(Type):
+    def flat_width(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class Unit(Type):
+    def flat_width(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class Tuple(Type):
+    elems: tuple[Type, ...]
+
+    def flat_width(self) -> int:
+        return sum(t.flat_width() for t in self.elems)
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(t) for t in self.elems) + ")"
+
+
+@dataclass(frozen=True)
+class Record(Type):
+    fields: tuple[tuple[str, Type], ...]
+
+    def flat_width(self) -> int:
+        return sum(t.flat_width() for _, t in self.fields)
+
+    def field(self, name: str) -> Type | None:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        return None
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {t}" for n, t in self.fields)
+        return f"[{inner}]"
+
+
+@dataclass(frozen=True)
+class Exn(Type):
+    arg: Type
+
+    def flat_width(self) -> int:
+        return 0  # exceptions compile to continuations, not data
+
+    def __str__(self) -> str:
+        return f"exn({self.arg})"
+
+
+@dataclass(frozen=True)
+class Arrow(Type):
+    param: Type
+    result: Type
+
+    def flat_width(self) -> int:
+        return 0  # functions compile to continuations/inlining, not data
+
+    def __str__(self) -> str:
+        return f"({self.param} -> {self.result})"
+
+
+WORD = Word()
+BOOL = Bool()
+UNIT = Unit()
+
+
+def word_tuple(n: int) -> Type:
+    """``word[n]`` — the type of n packed words."""
+    if n == 0:
+        return UNIT
+    if n == 1:
+        return WORD
+    return Tuple((WORD,) * n)
+
+
+def packed_type(layout: lay.Layout) -> Type:
+    """``packed(l)`` is a synonym for ``word[packed_words(l)]``."""
+    return word_tuple(lay.packed_words(layout))
+
+
+def unpacked_type(layout: lay.Layout) -> Type:
+    """``unpacked(l)``: the record type spreading out every bitfield.
+
+    Overlays contribute a record with one field per alternative (unpack
+    produces all alternatives, paper Section 3.2).  Gaps and unnamed
+    splice results contribute nothing addressable.
+    """
+    if isinstance(layout, lay.BitField):
+        return WORD
+    if isinstance(layout, lay.Gap):
+        return UNIT
+    if isinstance(layout, lay.Seq):
+        fields = []
+        for name, sub in layout.fields:
+            if not name:
+                continue
+            sub_ty = unpacked_type(sub)
+            if sub_ty != UNIT:
+                fields.append((name, sub_ty))
+        return Record(tuple(fields))
+    if isinstance(layout, lay.Overlay):
+        return Record(
+            tuple((name, unpacked_type(sub)) for name, sub in layout.alts)
+        )
+    raise TypeError(f"unhandled layout {type(layout).__name__}")
+
+
+def flatten_paths(ty: Type, prefix: tuple[str, ...] = ()) -> list[tuple[tuple[str, ...], Type]]:
+    """Enumerate the word/bool leaves of a type with their access paths.
+
+    Tuple components use their decimal index as the path element, which
+    matches the surface syntax ``e.0``.
+    """
+    if isinstance(ty, (Word, Bool)):
+        return [(prefix, ty)]
+    if isinstance(ty, Unit):
+        return []
+    if isinstance(ty, Tuple):
+        out = []
+        for i, elem in enumerate(ty.elems):
+            out.extend(flatten_paths(elem, prefix + (str(i),)))
+        return out
+    if isinstance(ty, Record):
+        out = []
+        for name, sub in ty.fields:
+            out.extend(flatten_paths(sub, prefix + (name,)))
+        return out
+    if isinstance(ty, (Exn, Arrow)):
+        return []
+    raise TypeError(f"unhandled type {type(ty).__name__}")

@@ -1,0 +1,106 @@
+"""Shared utilities for the test suite."""
+
+from __future__ import annotations
+
+from repro.compiler import CompileOptions, Compilation, compile_nova
+from repro.ixp.machine import Machine
+from repro.ixp.memory import MemorySystem
+
+MemoryImage = dict[str, list[tuple[int, list[int]]]]
+
+
+def compile_virtual(source: str) -> Compilation:
+    """Compile without running the ILP allocator (fast path for tests)."""
+    options = CompileOptions()
+    options.run_allocator = False
+    return compile_nova(source, options=options)
+
+
+def compile_full(
+    source: str,
+    two_phase: bool = False,
+    time_limit: float | None = None,
+    gap: float | None = None,
+) -> Compilation:
+    options = CompileOptions()
+    options.alloc.two_phase = two_phase
+    if time_limit is not None:
+        options.alloc.solve.time_limit = time_limit
+    if gap is not None:
+        options.alloc.solve.gap = gap
+    return compile_nova(source, options=options)
+
+
+def make_memory(image: MemoryImage | None = None) -> MemorySystem:
+    memory = MemorySystem.create()
+    for space, chunks in (image or {}).items():
+        for addr, words in chunks:
+            memory[space].load_words(addr, words)
+    return memory
+
+
+def run_main(
+    comp: Compilation,
+    memory_image: MemoryImage | None = None,
+    iterations: int = 1,
+    **inputs,
+) -> tuple[list[tuple[int, ...]], MemorySystem]:
+    """Run the virtual flowgraph with source-named inputs.
+
+    Returns (list of halt-value tuples, the memory system afterwards).
+    """
+    memory = make_memory(memory_image)
+    raw = comp.make_inputs(**inputs)
+
+    def provider(tid: int, iteration: int):
+        if iteration >= iterations:
+            return None
+        return dict(raw)
+
+    machine = Machine(
+        comp.flowgraph,
+        memory=memory,
+        threads=1,
+        physical=False,
+        input_provider=provider,
+    )
+    result = machine.run()
+    return [values for _, values in result.results], memory
+
+
+def run_physical(
+    comp: Compilation,
+    memory_image: MemoryImage | None = None,
+    iterations: int = 1,
+    **inputs,
+) -> tuple[list[tuple[int, ...]], MemorySystem]:
+    """Run the allocated (physical) flowgraph with source-named inputs."""
+    assert comp.alloc is not None
+    memory = make_memory(memory_image)
+    raw = comp.make_inputs(**inputs)
+    locations = comp.alloc.decoded.input_locations
+    physical_inputs: dict = {}
+    for temp, value in raw.items():
+        loc = locations.get(temp)
+        if loc is None:
+            continue
+        kind, where = loc
+        if kind == "reg":
+            physical_inputs[(where.bank, where.index)] = value
+        else:
+            memory["scratch"].load_words(where, [value])
+
+    def provider(tid: int, iteration: int):
+        if iteration >= iterations:
+            return None
+        return dict(physical_inputs)
+
+    machine = Machine(
+        comp.physical,
+        memory=memory,
+        threads=1,
+        physical=True,
+        input_provider=provider,
+    )
+    result = machine.run()
+    return [values for _, values in result.results], memory

@@ -1,0 +1,102 @@
+"""A/B coloring unit and property tests (optimistic coalescing)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.abcolor import SPARE_A, assign_ab_registers
+from repro.ixp import isa
+from repro.ixp.banks import Bank
+from repro.ixp.flowgraph import Block, FlowGraph
+
+
+def T(name):
+    return isa.Temp(name)
+
+
+def simple_graph(n_instrs=1):
+    instrs = [isa.Immed(T(f"t{i}"), i) for i in range(n_instrs)]
+    instrs.append(isa.HaltInstr(()))
+    return FlowGraph("entry", {"entry": Block("entry", instrs)})
+
+
+class TestColoring:
+    def test_disjoint_ranges_may_share(self):
+        graph = simple_graph(2)
+        banks_before = {(1, "x"): Bank.A, (3, "y"): Bank.A}
+        banks_after = {}
+        ab = assign_ab_registers(graph, banks_before, banks_after, {})
+        # Non-overlapping residencies: any valid assignment works.
+        assert ab.reg("x", Bank.A) < 15
+        assert ab.reg("y", Bank.A) < 15
+
+    def test_overlapping_ranges_differ(self):
+        graph = simple_graph(2)
+        banks_before = {(1, "x"): Bank.A, (1, "y"): Bank.A}
+        ab = assign_ab_registers(graph, banks_before, {}, {})
+        assert ab.reg("x", Bank.A) != ab.reg("y", Bank.A)
+
+    def test_clone_group_members_share(self):
+        graph = simple_graph(2)
+        banks_before = {(1, "x"): Bank.A, (1, "x_c"): Bank.A}
+        ab = assign_ab_registers(
+            graph, banks_before, {}, {"x": "x", "x_c": "x"}
+        )
+        assert ab.reg("x", Bank.A) == ab.reg("x_c", Bank.A)
+
+    def test_spare_a15_never_used(self):
+        graph = simple_graph(2)
+        banks_before = {(1, f"v{i}"): Bank.A for i in range(15)}
+        ab = assign_ab_registers(graph, banks_before, {}, {})
+        used = {ab.reg(f"v{i}", Bank.A) for i in range(15)}
+        assert SPARE_A not in used
+        assert used == set(range(15))
+
+    def test_move_coalescing(self):
+        # x moved to y; ranges touch only at the move: one register.
+        instrs = [
+            isa.Immed(T("x"), 1),  # 0-1
+            isa.Move(T("y"), T("x")),  # 1-2
+            isa.Alu(T("z"), "add", T("y"), isa.Imm(1)),  # 2-3
+            isa.HaltInstr((T("z"),)),
+        ]
+        graph = FlowGraph("entry", {"entry": Block("entry", instrs)})
+        points = graph.points()
+        p1, p2 = points.before("entry", 1), points.after("entry", 1)
+        banks_before = {
+            (p1, "x"): Bank.A,
+            (p2, "y"): Bank.A,
+            (points.before("entry", 2), "y"): Bank.A,
+        }
+        banks_after = {
+            (p1, "x"): Bank.A,
+            (p2, "y"): Bank.A,
+        }
+        ab = assign_ab_registers(graph, banks_before, banks_after, {})
+        assert ab.reg("x", Bank.A) == ab.reg("y", Bank.A)
+        assert ab.coalesced_moves >= 1
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_residencies_color_correctly(self, data):
+        """Property: any residency pattern with per-point pressure <= 15
+        colors so that co-resident temps get distinct registers."""
+        n_temps = data.draw(st.integers(1, 20))
+        n_points = data.draw(st.integers(1, 8))
+        banks_before: dict = {}
+        per_point: dict[int, list[str]] = {p: [] for p in range(n_points)}
+        for i in range(n_temps):
+            name = f"v{i}"
+            start = data.draw(st.integers(0, n_points - 1))
+            end = data.draw(st.integers(start, n_points - 1))
+            for p in range(start, end + 1):
+                if len(per_point[p]) >= 15:
+                    break
+            else:
+                for p in range(start, end + 1):
+                    banks_before[(p, name)] = Bank.A
+                    per_point[p].append(name)
+        graph = simple_graph(1)
+        ab = assign_ab_registers(graph, banks_before, {}, {})
+        for p, names in per_point.items():
+            regs = [ab.reg(v, Bank.A) for v in names]
+            assert len(regs) == len(set(regs)), f"collision at point {p}"

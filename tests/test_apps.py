@@ -1,0 +1,166 @@
+"""Application tests: the Nova programs agree with the references.
+
+These run at the *virtual* level (no ILP) so they are fast; the ILP
+level is covered for the full apps by the benchmarks and by
+``test_apps_allocated.py``.
+"""
+
+import pytest
+
+from repro.apps import build_aes_app, build_kasumi_app, build_nat_app
+from repro.apps.aes_nova import (
+    aes_reference_checksum,
+    aes_reference_ciphertext,
+)
+from repro.apps.kasumi_nova import (
+    kasumi_reference_ciphertext,
+    kasumi_reference_sum,
+)
+from repro.apps.nat_nova import nat_reference_output
+
+from tests.helpers import compile_virtual, run_main
+
+
+class TestAesNova:
+    @pytest.mark.parametrize("blocks", [1, 2, 4])
+    def test_ciphertext_matches_reference(self, blocks):
+        payload = bytes(range(16 * blocks))
+        app = build_aes_app(payload=payload)
+        comp = compile_virtual(app.source)
+        results, mem = run_main(comp, app.memory_image, **app.inputs)
+        got = mem["sdram"].dump_words(app.payload_base, 4 * blocks)
+        assert got == aes_reference_ciphertext(payload)
+        assert results == [(aes_reference_checksum(payload),)]
+
+    def test_misaligned_payload(self):
+        """align=1: plaintext read quad-word misaligned through the
+        second layout view; ciphertext still written aligned."""
+        payload = bytes(range(16))
+        app = build_aes_app(payload=payload, align=1)
+        comp = compile_virtual(app.source)
+        _, mem = run_main(comp, app.memory_image, **app.inputs)
+        got = mem["sdram"].dump_words(app.payload_base, 4)
+        assert got == aes_reference_ciphertext(payload)
+
+    def test_key_variation(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        payload = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        app = build_aes_app(key=key, payload=payload)
+        comp = compile_virtual(app.source)
+        _, mem = run_main(comp, app.memory_image, **app.inputs)
+        got = mem["sdram"].dump_words(app.payload_base, 4)
+        # FIPS-197 Appendix B, via the Nova program on the simulator.
+        assert got == [0x3925841D, 0x02DC09FB, 0xDC118597, 0x196A0B32]
+
+    def test_program_statistics_shape(self):
+        """Figure 5/6 sanity: AES exercises layouts and aggregates."""
+        app = build_aes_app()
+        comp = compile_virtual(app.source)
+        stats = comp.source_stats
+        assert stats.layouts == 2
+        assert stats.unpacks == 2
+        assert stats.packs == 1
+        assert stats.raises == 2
+        assert stats.handles == 2
+        assert comp.flowgraph.num_instructions() > 150
+
+
+class TestKasumiNova:
+    @pytest.mark.parametrize("blocks", [1, 2, 3])
+    def test_ciphertext_matches_reference(self, blocks):
+        payload = bytes((7 * i + 3) & 0xFF for i in range(8 * blocks))
+        app = build_kasumi_app(payload=payload)
+        comp = compile_virtual(app.source)
+        results, mem = run_main(comp, app.memory_image, **app.inputs)
+        got = mem["sdram"].dump_words(app.payload_base, 2 * blocks)
+        assert got == kasumi_reference_ciphertext(payload)
+        assert results == [(kasumi_reference_sum(payload),)]
+
+    def test_key_sensitivity(self):
+        payload = bytes(8)
+        key_a = bytes(range(16))
+        key_b = bytes([1]) + bytes(range(1, 16))
+        out = []
+        for key in (key_a, key_b):
+            app = build_kasumi_app(key=key, payload=payload)
+            comp = compile_virtual(app.source)
+            _, mem = run_main(comp, app.memory_image, **app.inputs)
+            out.append(tuple(mem["sdram"].dump_words(app.payload_base, 2)))
+        assert out[0] != out[1]
+
+    def test_one_scratch_read_per_round(self):
+        """Paper: the packed subkeys make each round fetch exactly one
+        scratch aggregate (plus the two S7 lookups inside each FI)."""
+        app = build_kasumi_app()
+        comp = compile_virtual(app.source)
+        from repro.ixp import isa
+
+        reads = [
+            instr
+            for _, _, instr in comp.flowgraph.instructions()
+            if isinstance(instr, isa.MemOp)
+            and instr.direction == "read"
+            and instr.space == "scratch"
+        ]
+        four_word = [r for r in reads if len(r.regs) == 4]
+        assert len(four_word) == 1  # the single in-loop subkey fetch
+
+
+class TestNatNova:
+    def test_translation_matches_reference(self):
+        app = build_nat_app()
+        comp = compile_virtual(app.source)
+        results, mem = run_main(comp, app.memory_image, **app.inputs)
+        ipv6 = app.memory_image["sdram"][-1][1]
+        mappings = {
+            tuple(ipv6[2:6]): 0x0A000001,
+            tuple(ipv6[6:10]): 0x0A000002,
+        }
+        header, checksum = nat_reference_output(ipv6, mappings)
+        base = app.inputs["base"]
+        assert mem["sdram"].dump_words(base + 5, 5) == header
+        assert results == [(checksum,)]
+        # The word before the new packet start is untouched.
+        assert mem["sdram"].dump_words(base + 4, 1) == [ipv6[4]]
+
+    def test_non_ipv6_takes_slow_path(self):
+        ipv6 = [(4 << 28), (100 << 16) | (6 << 8) | 64] + [0] * 8
+        app = build_nat_app(ipv6_words=ipv6, mappings={})
+        comp = compile_virtual(app.source)
+        results, _ = run_main(comp, app.memory_image, **app.inputs)
+        assert results == [(0xFFFFFFFF,)]
+
+    def test_missing_mapping_raises(self):
+        src = (0x20010DB8, 0, 0, 0x99)
+        dst = (0x20010DB8, 0, 0, 0x98)
+        w0 = 6 << 28
+        w1 = (40 << 16) | (17 << 8) | 1
+        ipv6 = [w0, w1, *src, *dst]
+        app = build_nat_app(ipv6_words=ipv6, mappings={src: 0x0A000001})
+        comp = compile_virtual(app.source)
+        results, _ = run_main(comp, app.memory_image, **app.inputs)
+        assert results == [(0xFFFFFFFE,)]
+
+    def test_checksum_self_verifies(self):
+        app = build_nat_app()
+        comp = compile_virtual(app.source)
+        _, mem = run_main(comp, app.memory_image, **app.inputs)
+        header = mem["sdram"].dump_words(app.inputs["base"] + 5, 5)
+        total = 0
+        for word in header:
+            total += (word >> 16) + (word & 0xFFFF)
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+    def test_uses_hash_unit(self):
+        app = build_nat_app()
+        comp = compile_virtual(app.source)
+        from repro.ixp import isa
+
+        hashes = [
+            instr
+            for _, _, instr in comp.flowgraph.instructions()
+            if isinstance(instr, isa.HashInstr)
+        ]
+        assert len(hashes) == 2  # one per address mapping

@@ -1,0 +1,115 @@
+"""The two-continuation convention for bool-returning functions
+(paper Section 4.1: "functions returning a bool take two return
+continuations instead of one").
+"""
+
+from repro.cps import ir
+from repro.nova.parser import parse_program
+from repro.nova.typecheck import typecheck_program
+from repro.cps.convert import cps_convert
+
+from tests.helpers import compile_full, compile_virtual, run_main, run_physical
+
+SOURCE = """
+fun is_tcp (proto) : bool { proto == 6 }
+fun in_range (x, lo, hi) : bool { lo <= x && x < hi }
+fun main (proto, port) {
+  if (is_tcp(proto) && in_range(port, 1024, 4096)) 1
+  else { let b = is_tcp(proto); if (b) 2 else 3 }
+}
+"""
+
+
+def count_nodes(term, predicate):
+    n = 1 if predicate(term) else 0
+    return n + sum(count_nodes(c, predicate) for c in ir.subterms(term))
+
+
+class TestConvention:
+    def test_bool_functions_get_two_continuations(self):
+        tp = typecheck_program(parse_program(SOURCE))
+        cp = cps_convert(tp)
+        assert cp.bool_returns == {"is_tcp", "in_range"}
+        assert len(cp.funs["is_tcp"].conts) == 2
+        assert len(cp.funs["in_range"].conts) == 2
+        assert len(cp.funs["main"].conts) == 1
+
+    def test_entry_never_two_continuation(self):
+        tp = typecheck_program(
+            parse_program("fun main (x) : bool { x == 1 }")
+        )
+        cp = cps_convert(tp)
+        assert cp.bool_returns == frozenset()
+        assert len(cp.funs["main"].conts) == 1
+
+    def test_condition_position_never_materializes(self):
+        """A bool call inside `if` compiles to pure branching: the only
+        0/1 join left is the deliberate value-position `let b = ...`."""
+        comp = compile_virtual(SOURCE)
+        joins = count_nodes(
+            comp.ssu.term,
+            lambda t: isinstance(t, ir.LetCont)
+            and len(t.params) == 1
+            and t.params[0].startswith("b"),
+        )
+        assert joins == 1
+
+    def test_semantics(self):
+        comp = compile_virtual(SOURCE)
+        assert run_main(comp, proto=6, port=2000)[0] == [(1,)]
+        assert run_main(comp, proto=6, port=9)[0] == [(2,)]
+        assert run_main(comp, proto=17, port=2000)[0] == [(3,)]
+
+    def test_value_position_materializes_zero_one(self):
+        comp = compile_virtual(
+            """
+            fun odd (x) : bool { (x & 1) == 1 }
+            fun main (x) {
+              let a = odd(x);
+              let b = odd(x + 1);
+              if (a == b) 7 else if (a) 1 else 0
+            }
+            """
+        )
+        assert run_main(comp, x=3)[0] == [(1,)]
+        assert run_main(comp, x=2)[0] == [(0,)]
+
+    def test_recursive_bool_function_becomes_loop(self):
+        comp = compile_virtual(
+            """
+            fun all_zero (b, n) : bool {
+              if (n == 0) true
+              else if (sram(b) != 0) false
+              else all_zero(b + 1, n - 1)
+            }
+            fun main (b, n) { if (all_zero(b, n)) 1 else 0 }
+            """
+        )
+        image = {"sram": [(0, [0, 0, 0, 0])]}
+        assert run_main(comp, image, b=0, n=4)[0] == [(1,)]
+        image2 = {"sram": [(0, [0, 0, 9, 0])]}
+        assert run_main(comp, image2, b=0, n=4)[0] == [(0,)]
+
+    def test_bool_function_with_exceptions(self):
+        comp = compile_virtual(
+            """
+            fun check [err : exn(word), v : word] : bool {
+              if (v > 100) raise err (v) else v % 2 == 0
+            }
+            fun main (x) {
+              try {
+                if (check[err = Bad, v = x]) 1 else 2
+              } handle Bad (v) { v }
+            }
+            """
+        )
+        assert run_main(comp, x=4)[0] == [(1,)]
+        assert run_main(comp, x=5)[0] == [(2,)]
+        assert run_main(comp, x=150)[0] == [(150,)]
+
+    def test_through_full_allocation(self):
+        comp = compile_full(SOURCE)
+        for proto, port, expect in ((6, 2000, 1), (6, 9, 2), (17, 9, 3)):
+            rv, _ = run_main(comp, proto=proto, port=port)
+            rp, _ = run_physical(comp, proto=proto, port=port)
+            assert rv == rp == [(expect,)]

@@ -1,0 +1,95 @@
+"""Command-line interface tests (``novac``)."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+layout h = { a : 8, b : 24 };
+fun main (x) {
+  let u = unpack[h](x);
+  u.a + u.b
+}
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    path = tmp_path / "prog.nova"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_compile_and_print(program, capsys):
+    assert main([program]) == 0
+    out = capsys.readouterr().out
+    assert "entry:" in out
+    assert "halt" in out
+    # Physical registers appear (allocation ran).
+    assert any(bank in out for bank in ("A0", "B0", "A1", "B1"))
+
+
+def test_virtual_mode(program, capsys):
+    assert main(["--virtual", program]) == 0
+    out = capsys.readouterr().out
+    assert "entry:" in out
+    # Temps, not physical registers.
+    assert "p." in out or "f." in out
+
+
+def test_cps_dump(program, capsys):
+    assert main(["--cps", program]) == 0
+    out = capsys.readouterr().out
+    assert "halt" in out
+
+
+def test_stats(program, capsys):
+    assert main(["--stats", program]) == 0
+    out = capsys.readouterr().out
+    assert "layouts: 1" in out
+    assert "ILP:" in out
+    assert "spills=0" in out
+
+
+def test_two_phase_flag(program, capsys):
+    assert main(["--two-phase", program]) == 0
+
+
+def test_missing_file(capsys):
+    assert main(["/nonexistent.nova"]) == 1
+    assert "novac:" in capsys.readouterr().err
+
+
+def test_diagnostics_reported(tmp_path, capsys):
+    path = tmp_path / "bad.nova"
+    path.write_text("fun main (x) { y }")
+    assert main([str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "unbound" in err
+    assert "bad.nova" in err  # source location carried through
+
+
+def test_parse_error_position(tmp_path, capsys):
+    path = tmp_path / "bad.nova"
+    path.write_text("fun main (x) {\n  let = 3;\n}")
+    assert main([str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "2:" in err  # line number of the bad let
+
+
+def test_run_flag(program, capsys):
+    assert main(["--run", "x=0x45001234", program]) == 0
+    out = capsys.readouterr().out
+    # a=0x45, b=0x001234 -> sum 0x1279
+    assert "thread 0: (0x1279)" in out
+    assert "cycles" in out
+
+
+def test_run_flag_virtual(program, capsys):
+    assert main(["--virtual", "--run", "x=0", program]) == 0
+    assert "thread 0: (0x0)" in capsys.readouterr().out
+
+
+def test_run_flag_bad_inputs(program, capsys):
+    assert main(["--run", "nope=1", program]) == 1
+    assert "bad --run inputs" in capsys.readouterr().err

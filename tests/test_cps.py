@@ -1,0 +1,260 @@
+"""CPS pipeline tests: conversion, optimization, SSU, structural invariants.
+
+Semantic correctness is established by executing the selected (virtual)
+flowgraph on the simulator and comparing with the expected values of the
+program corpus.
+"""
+
+import pytest
+
+from repro.cps import ir
+from repro.cps.ssu import check_ssu
+from repro.ixp.machine import hash48
+
+from tests.helpers import compile_virtual, run_main
+from tests.programs import CASES, case
+
+
+@pytest.mark.parametrize("tc", CASES, ids=lambda tc: tc.name)
+def test_corpus_semantics(tc):
+    comp = compile_virtual(tc.source)
+    results, memory = run_main(comp, tc.memory, **tc.inputs)
+    if tc.expect_results is not None:
+        assert results == tc.expect_results
+    for space, cells in tc.expect_memory.items():
+        for addr, value in cells.items():
+            assert memory[space].dump_words(addr, 1) == [value], (
+                f"{space}[{addr}]"
+            )
+
+
+def test_hash_case_matches_model():
+    tc = case("hash_unit")
+    comp = compile_virtual(tc.source)
+    results, _ = run_main(comp, **tc.inputs)
+    assert results == [(hash48(1234),)]
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("tc", CASES, ids=lambda tc: tc.name)
+    def test_unique_binders(self, tc):
+        comp = compile_virtual(tc.source)
+        ir.check_unique_binders(comp.ssu.term)
+
+    @pytest.mark.parametrize("tc", CASES, ids=lambda tc: tc.name)
+    def test_first_order_after_deproc(self, tc):
+        comp = compile_virtual(tc.source)
+
+        def walk(term):
+            assert not isinstance(term, (ir.AppFun, ir.LetFun))
+            for child in ir.subterms(term):
+                walk(child)
+
+        walk(comp.ssu.term)
+
+    @pytest.mark.parametrize("tc", CASES, ids=lambda tc: tc.name)
+    def test_ssu_property(self, tc):
+        comp = compile_virtual(tc.source)
+        assert check_ssu(comp.ssu.term)
+
+
+class TestOptimizer:
+    def test_constant_folding_collapses_constant_program(self):
+        comp = compile_virtual("fun main () { (3 + 4) * 2 - 6 }")
+        term = comp.ssu.term
+        # The whole body should fold to halt(8).
+        assert isinstance(term, ir.Halt)
+        assert term.atoms == (ir.Const(8),)
+
+    def test_algebraic_identities(self):
+        comp = compile_virtual(
+            "fun main (x) { ((x + 0) * 1 ^ 0) | 0 }"
+        )
+        assert isinstance(comp.ssu.term, ir.Halt)
+
+    def test_constant_branch_eliminated(self):
+        comp = compile_virtual(
+            "fun main (x) { if (1 < 2) x + 1 else x - 1 }"
+        )
+        # No If should remain.
+        def count_ifs(term):
+            n = 1 if isinstance(term, ir.If) else 0
+            return n + sum(count_ifs(c) for c in ir.subterms(term))
+
+        assert count_ifs(comp.ssu.term) == 0
+
+    def test_unused_unpack_fields_generate_no_code(self):
+        """Paper Section 4.4: fields nobody reads are never extracted."""
+        used = compile_virtual(
+            """
+            layout p = { a : 16, b : 16 };
+            fun main (w) { let u = unpack[p]((w)); u.a + u.b }
+            """
+        )
+        unused = compile_virtual(
+            """
+            layout p = { a : 16, b : 16 };
+            fun main (w) { let u = unpack[p]((w)); u.a }
+            """
+        )
+        assert ir.term_size(unused.ssu.term) < ir.term_size(used.ssu.term)
+
+    def test_dead_memory_read_removed(self):
+        comp = compile_virtual(
+            "fun main (b) { let x = sram(b); 7 }"
+        )
+        def count_reads(term):
+            n = 1 if isinstance(term, ir.MemRead) else 0
+            return n + sum(count_reads(c) for c in ir.subterms(term))
+
+        assert count_reads(comp.ssu.term) == 0
+
+    def test_partially_dead_read_trimmed(self):
+        comp = compile_virtual(
+            "fun main (b) { let (x, y, z) = sram(b); y }"
+        )
+
+        def find_read(term):
+            if isinstance(term, ir.MemRead):
+                return term
+            for child in ir.subterms(term):
+                found = find_read(child)
+                if found:
+                    return found
+            return None
+
+        read = find_read(comp.ssu.term)
+        assert read is not None
+        assert len(read.vars) == 1  # leading and trailing words trimmed
+
+    def test_memory_write_never_removed(self):
+        comp = compile_virtual(
+            "fun main (b) { sram(b) <- (1, 2); 0 }"
+        )
+
+        def count_writes(term):
+            n = 1 if isinstance(term, ir.MemWrite) else 0
+            return n + sum(count_writes(c) for c in ir.subterms(term))
+
+        assert count_writes(comp.ssu.term) == 1
+
+    def test_loop_invariant_params_pruned(self):
+        """The conservative loop parameters conversion creates must be
+        cleaned up when they never change."""
+        comp = compile_virtual(
+            """
+            fun main (n) {
+              let i = 0;
+              let k = n + 1;
+              while (i < n) { i := i + k - k + 1; };
+              i
+            }
+            """
+        )
+        results, _ = run_main(comp, n=5)
+        assert results == [(5,)]
+
+    def test_called_once_continuations_inlined(self):
+        comp = compile_virtual(
+            "fun main (x) { let a = x + 1; let b = a + 1; b + 1 }"
+        )
+        # Straight-line code: three adds, no continuations at all.
+        def count_conts(term):
+            n = 1 if isinstance(term, ir.LetCont) else 0
+            return n + sum(count_conts(c) for c in ir.subterms(term))
+
+        assert count_conts(comp.ssu.term) == 0
+
+
+class TestSsu:
+    def test_clone_count_matches_extra_uses(self):
+        comp = compile_virtual(
+            """
+            fun main (b) {
+              let x = sram(b);
+              sram(b + 4) <- (x, x);
+              x
+            }
+            """
+        )
+        # x has three uses (two write positions, one halt): the two write
+        # positions get clones.
+        assert comp.ssu_stats.clones_inserted == 2
+
+    def test_single_use_write_operand_not_cloned(self):
+        comp = compile_virtual(
+            """
+            fun main (b) {
+              let x = sram(b);
+              sram(b + 4) <- (x + 1);
+              0
+            }
+            """
+        )
+        assert comp.ssu_stats.clones_inserted == 0
+
+    def test_clones_do_not_change_semantics(self):
+        tc = case("clone_heavy")
+        comp = compile_virtual(tc.source)
+        results, memory = run_main(comp, tc.memory, **tc.inputs)
+        assert results == tc.expect_results
+
+
+class TestDeproc:
+    def test_recursive_function_becomes_loop(self):
+        comp = compile_virtual(
+            """
+            fun count (i, n) : word { if (i == n) i else count(i + 1, n) }
+            fun main (n) { count(0, n) }
+            """
+        )
+        results, _ = run_main(comp, n=7)
+        assert results == [(7,)]
+
+    def test_multiple_call_sites_inline_separately(self):
+        comp = compile_virtual(
+            """
+            fun f (x) : word { x * 2 }
+            fun main (a) { f(a) + f(a + 1) }
+            """
+        )
+        results, _ = run_main(comp, a=10)
+        assert results == [(20 + 22,)]
+
+    def test_mutual_recursion(self):
+        comp = compile_virtual(
+            """
+            fun even (i) : word { if (i == 0) 1 else odd(i - 1) }
+            fun odd (i) : word { if (i == 0) 0 else even(i - 1) }
+            fun main (n) { even(n) }
+            """
+        )
+        assert run_main(comp, n=10)[0] == [(1,)]
+        assert run_main(comp, n=7)[0] == [(0,)]
+
+
+class TestBooleansAsControlFlow:
+    def test_shortcircuit_and(self):
+        comp = compile_virtual(
+            """
+            fun main (b) {
+              // division guarded by the short-circuit: must not trap
+              if (b != 0 && 100 / 2 > b) 1 else 0
+            }
+            """
+        )
+        assert run_main(comp, b=3)[0] == [(1,)]
+        assert run_main(comp, b=0)[0] == [(0,)]
+
+    def test_shortcircuit_or(self):
+        comp = compile_virtual(
+            "fun main (x) { if (x == 0 || x > 10) 1 else 0 }"
+        )
+        assert run_main(comp, x=0)[0] == [(1,)]
+        assert run_main(comp, x=11)[0] == [(1,)]
+        assert run_main(comp, x=5)[0] == [(0,)]
+
+    def test_not(self):
+        comp = compile_virtual("fun main (x) { if (!(x < 5)) 1 else 0 }")
+        assert run_main(comp, x=7)[0] == [(1,)]
+        assert run_main(comp, x=3)[0] == [(0,)]

@@ -1,0 +1,129 @@
+"""De-proceduralization internals (paper Section 4.3)."""
+
+import pytest
+
+from repro.cps import ir
+from repro.cps.convert import cps_convert
+from repro.cps.deproc import MAX_INSTANCES, deproceduralize
+from repro.errors import CpsError
+from repro.nova.parser import parse_program
+from repro.nova.typecheck import typecheck_program
+
+from tests.helpers import compile_virtual, run_main
+
+
+def first_order(source):
+    return deproceduralize(
+        cps_convert(typecheck_program(parse_program(source)))
+    )
+
+
+def count(term, predicate):
+    n = 1 if predicate(term) else 0
+    return n + sum(count(c, predicate) for c in ir.subterms(term))
+
+
+class TestInstantiation:
+    def test_tail_recursion_single_instance(self):
+        """A self tail call hits the memo: exactly one instantiation."""
+        fo = first_order(
+            """
+            fun countdown (i) : word { if (i == 0) 0 else countdown(i - 1) }
+            fun main (n) { countdown(n) }
+            """
+        )
+        instances = count(
+            fo.term,
+            lambda t: isinstance(t, ir.LetCont)
+            and t.name.startswith("fn_countdown"),
+        )
+        assert instances == 1
+
+    def test_two_call_sites_two_instances(self):
+        fo = first_order(
+            """
+            fun f (x) : word { x + 1 }
+            fun main (a) { f(a) + f(a + 2) }
+            """
+        )
+        instances = count(
+            fo.term,
+            lambda t: isinstance(t, ir.LetCont) and t.name.startswith("fn_f"),
+        )
+        assert instances == 2
+
+    def test_mutual_recursion_one_instance_each(self):
+        fo = first_order(
+            """
+            fun even (i) : word { if (i == 0) 1 else odd(i - 1) }
+            fun odd (i) : word { if (i == 0) 0 else even(i - 1) }
+            fun main (n) { even(n) }
+            """
+        )
+        evens = count(
+            fo.term,
+            lambda t: isinstance(t, ir.LetCont) and t.name.startswith("fn_even"),
+        )
+        odds = count(
+            fo.term,
+            lambda t: isinstance(t, ir.LetCont) and t.name.startswith("fn_odd"),
+        )
+        assert evens == 1 and odds == 1
+
+    def test_no_function_constructs_remain(self):
+        fo = first_order(
+            """
+            fun g (x) : word { x * 2 }
+            fun f (x) : word { g(x) + 1 }
+            fun main (a) { f(g(a)) }
+            """
+        )
+        assert count(fo.term, lambda t: isinstance(t, (ir.AppFun, ir.LetFun))) == 0
+
+    def test_unique_binders_after_inlining(self):
+        fo = first_order(
+            """
+            fun f (x) : word { let t = x + 1; t * 2 }
+            fun main (a) { f(a) ^ f(a + 1) ^ f(a + 2) }
+            """
+        )
+        ir.check_unique_binders(fo.term)
+
+    def test_deep_chain_inlines(self):
+        # f1 -> f2 -> f3 -> f4, each called twice: 2^4 leaf instances.
+        source = "\n".join(
+            f"fun f{i} (x) : word {{ f{i+1}(x) + f{i+1}(x + 1) }}"
+            for i in range(1, 4)
+        )
+        source += "\nfun f4 (x) : word { x * 2 }\n"
+        source += "fun main (a) { f1(a) }"
+        comp = compile_virtual(source)
+        # semantic check against the obvious Python mirror
+        def f4(x):
+            return (x * 2) & 0xFFFFFFFF
+
+        def chain(i, x):
+            if i == 4:
+                return f4(x)
+            return (chain(i + 1, x) + chain(i + 1, x + 1)) & 0xFFFFFFFF
+
+        assert run_main(comp, a=10)[0] == [(chain(1, 10),)]
+
+
+class TestLimits:
+    def test_instance_cap_exists(self):
+        assert MAX_INSTANCES >= 1000
+
+    def test_entry_with_exception_params_rejected(self):
+        program = typecheck_program(
+            parse_program(
+                """
+                fun main [e : exn(word), x : word] {
+                  if (x > 1) raise e (x) else x
+                }
+                """
+            )
+        )
+        cp = cps_convert(program)
+        with pytest.raises(CpsError, match="exception"):
+            deproceduralize(cp)

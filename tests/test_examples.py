@@ -1,0 +1,52 @@
+"""The example scripts must run end to end (their asserts self-check)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "IPv4 packets counted: 3" in out
+    assert "ILP allocation" in out
+
+
+def test_layout_alignment():
+    out = run_example("layout_alignment.py")
+    assert out.count("(ok)") == 3
+
+
+def test_forwarding_loop():
+    out = run_example("forwarding_loop.py")
+    assert "8 packets forwarded" in out
+    assert "checksum valid" in out
+    assert "INVALID" not in out
+
+
+@pytest.mark.slow
+def test_packet_pipeline():
+    out = run_example("packet_pipeline.py")
+    assert "not IPv6 -> slow path" in out
+    assert "MISMATCH" not in out
+
+
+@pytest.mark.slow
+def test_crypto_gateway():
+    out = run_example("crypto_gateway.py", timeout=600)
+    assert "ciphertext verified against the reference" in out
+    assert out.count("verified") >= 2

@@ -1,0 +1,94 @@
+"""Flowgraph structure tests: program points, ordering, edges."""
+
+from repro.ixp import isa
+from repro.ixp.flowgraph import Block, FlowGraph
+
+
+def T(name):
+    return isa.Temp(name)
+
+
+def diamond():
+    blocks = {
+        "entry": Block(
+            "entry",
+            [
+                isa.Immed(T("x"), 1),
+                isa.BrCmp("lt", T("x"), isa.Imm(5), "left", "right"),
+            ],
+        ),
+        "left": Block("left", [isa.Immed(T("a"), 1), isa.Br("join")]),
+        "right": Block("right", [isa.Immed(T("a"), 2), isa.Br("join")]),
+        "join": Block("join", [isa.HaltInstr((T("a"),))]),
+    }
+    return FlowGraph("entry", blocks)
+
+
+class TestStructure:
+    def test_block_order_starts_at_entry(self):
+        order = diamond().block_order()
+        assert order[0] == "entry"
+        assert set(order) == {"entry", "left", "right", "join"}
+        assert order.index("join") > order.index("left")
+        assert order.index("join") > order.index("right")
+
+    def test_predecessors(self):
+        preds = diamond().predecessors()
+        assert sorted(preds["join"]) == ["left", "right"]
+        assert preds["entry"] == []
+
+    def test_successors(self):
+        graph = diamond()
+        assert graph.blocks["entry"].successors() == ["left", "right"]
+        assert graph.blocks["left"].successors() == ["join"]
+        assert graph.blocks["join"].successors() == []
+
+    def test_instruction_enumeration(self):
+        graph = diamond()
+        instrs = graph.instructions()
+        assert len(instrs) == graph.num_instructions() == 7
+        assert instrs[0][0] == "entry"
+
+    def test_temps_enumeration(self):
+        graph = diamond()
+        graph.inputs = ("z",)
+        assert graph.temps() == ["a", "x", "z"]
+
+
+class TestPointMap:
+    def test_counts(self):
+        graph = diamond()
+        pm = graph.points()
+        # Per block: n instrs + 1 exit point.
+        expected = sum(len(b.instrs) + 1 for b in graph.blocks.values())
+        assert pm.count == expected
+
+    def test_before_after_chain(self):
+        graph = diamond()
+        pm = graph.points()
+        assert pm.after("entry", 0) == pm.before("entry", 1)
+        assert pm.after("entry", 1) == pm.exit("entry")
+        assert pm.entry("entry") == pm.before("entry", 0)
+
+    def test_points_unique_across_blocks(self):
+        graph = diamond()
+        pm = graph.points()
+        seen = set()
+        for label, block in graph.blocks.items():
+            for index in range(len(block.instrs)):
+                point = pm.before(label, index)
+                assert point not in seen
+                seen.add(point)
+            exit_p = pm.exit(label)
+            assert exit_p not in seen
+            seen.add(exit_p)
+
+    def test_edges_connect_exit_to_entries(self):
+        graph = diamond()
+        pm = graph.points()
+        edges = set(pm.edges())
+        assert (pm.exit("entry"), pm.entry("left")) in edges
+        assert (pm.exit("entry"), pm.entry("right")) in edges
+        assert (pm.exit("left"), pm.entry("join")) in edges
+        assert (pm.exit("right"), pm.entry("join")) in edges
+        assert len(edges) == 4

@@ -1,0 +1,289 @@
+"""Layout algebra tests: widths, overlays, recipes, pack/unpack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.nova import layouts as lay
+from repro.nova.parser import _Parser
+from repro.nova.lexer import tokenize
+
+
+def parse_layout(text: str, env=None):
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_layout_expr()
+    return lay.resolve(expr, env or {})
+
+
+class TestResolve:
+    def test_simple_sequence_width(self):
+        layout = parse_layout("{a : 16, b : 8, c : 8}")
+        assert layout.width == 32
+
+    def test_nested_layout(self):
+        inner = parse_layout("{x : 4, y : 4}")
+        layout = parse_layout("{h : inner, t : 24}", {"inner": inner})
+        assert layout.width == 32
+
+    def test_gap(self):
+        layout = parse_layout("{16}")
+        assert isinstance(layout, lay.Gap)
+        assert layout.width == 16
+
+    def test_concat(self):
+        layout = parse_layout("{16} ## {a : 8} ## {8}")
+        assert layout.width == 32
+        assert isinstance(layout, lay.Seq)
+
+    def test_concat_splices_fields(self):
+        a = parse_layout("{x : 8}")
+        layout = parse_layout("a ## {y : 8}", {"a": a})
+        names = [n for n, _ in layout.fields]
+        assert names == ["x", "y"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(LayoutError):
+            parse_layout("nope")
+
+    def test_zero_width_field_rejected(self):
+        with pytest.raises(LayoutError):
+            parse_layout("{a : 0}")
+
+    def test_field_over_32_bits_rejected(self):
+        with pytest.raises(LayoutError):
+            parse_layout("{a : 33}")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(LayoutError):
+            parse_layout("{a : 8, a : 8}")
+
+    def test_overlay_equal_widths(self):
+        layout = parse_layout(
+            "{v : overlay { whole : 8 | parts : {hi : 4, lo : 4} }}"
+        )
+        assert layout.width == 8
+
+    def test_overlay_unequal_widths_rejected(self):
+        with pytest.raises(LayoutError):
+            parse_layout("{v : overlay { a : 8 | b : 16 }}")
+
+    def test_overlay_single_alternative_rejected(self):
+        with pytest.raises(LayoutError):
+            parse_layout("{v : overlay { a : 8 }}")
+
+
+class TestLeafFields:
+    def test_offsets_sequential(self):
+        layout = parse_layout("{a : 4, b : 12, c : 16}")
+        leaves = lay.leaf_fields(layout)
+        assert [(l.path, l.offset, l.bits) for l in leaves] == [
+            (("a",), 0, 4),
+            (("b",), 4, 12),
+            (("c",), 16, 16),
+        ]
+
+    def test_gap_shifts_offsets(self):
+        layout = parse_layout("{16} ## {a : 8}")
+        (leaf,) = lay.leaf_fields(layout)
+        assert leaf.offset == 16
+
+    def test_overlay_produces_all_alternatives(self):
+        layout = parse_layout(
+            "{v : overlay { whole : 8 | parts : {hi : 4, lo : 4} }, rest : 8}"
+        )
+        paths = {l.path for l in lay.leaf_fields(layout)}
+        assert paths == {
+            ("v", "whole"),
+            ("v", "parts", "hi"),
+            ("v", "parts", "lo"),
+            ("rest",),
+        }
+
+    def test_overlay_alternatives_share_offset(self):
+        layout = parse_layout("{v : overlay { whole : 8 | alt : 8 }}")
+        leaves = {l.path: l.offset for l in lay.leaf_fields(layout)}
+        assert leaves[("v", "whole")] == leaves[("v", "alt")] == 0
+
+
+class TestRecipes:
+    def test_word_aligned_field(self):
+        layout = parse_layout("{a : 32, b : 32}")
+        leaves = lay.leaf_fields(layout)
+        recipe = lay.extract_recipe(leaves[1])
+        assert len(recipe.parts) == 1
+        assert recipe.parts[0].index == 1
+        assert recipe.parts[0].right_shift == 0
+
+    def test_interior_field(self):
+        layout = parse_layout("{a : 4, b : 8, c : 20}")
+        recipe = lay.extract_recipe(lay.leaf_fields(layout)[1])
+        (part,) = recipe.parts
+        assert part.right_shift == 20
+        assert part.mask == 0xFF
+
+    def test_straddling_field_has_two_parts(self):
+        layout = parse_layout("{a : 24, b : 16, c : 24}")
+        recipe = lay.extract_recipe(lay.leaf_fields(layout)[1])
+        assert len(recipe.parts) == 2
+        assert recipe.parts[0].index == 0
+        assert recipe.parts[1].index == 1
+
+    def test_extract_value_straddle(self):
+        layout = parse_layout("{a : 24, b : 16}")
+        words = [0x00000012, 0x34000000]
+        leaf = lay.leaf_fields(layout)[1]
+        value = lay.extract_value(words, lay.extract_recipe(leaf))
+        assert value == 0x1234
+
+    def test_deposit_inverse_of_extract(self):
+        layout = parse_layout("{a : 24, b : 16, c : 24}")
+        words = [0, 0]
+        leaf = lay.leaf_fields(layout)[1]
+        lay.deposit_value(words, lay.deposit_recipe(leaf), 0xBEEF)
+        got = lay.extract_value(words, lay.extract_recipe(leaf))
+        assert got == 0xBEEF
+
+
+class TestPackUnpackReference:
+    def ipv6(self):
+        addr = parse_layout("{a1 : 32, a2 : 32, a3 : 32, a4 : 32}")
+        return parse_layout(
+            "{verpri : overlay { whole : 8 | parts : {version : 4, "
+            "priority : 4} }, flow_label : 24, payload_length : 16, "
+            "next_header : 8, hop_limit : 8, src : a, dst : a}",
+            {"a": addr},
+        )
+
+    def test_ipv6_is_ten_words(self):
+        assert lay.packed_words(self.ipv6()) == 10
+
+    def test_unpack_version(self):
+        words = [0x60012345] + [0] * 9
+        fields = lay.unpack_reference(self.ipv6(), words)
+        assert fields[("verpri", "parts", "version")] == 6
+        assert fields[("verpri", "whole")] == 0x60
+        assert fields[("flow_label",)] == 0x012345
+
+    def test_unpack_short_input_rejected(self):
+        with pytest.raises(LayoutError):
+            lay.unpack_reference(self.ipv6(), [0] * 5)
+
+    def test_pack_requires_one_overlay_alternative(self):
+        layout = self.ipv6()
+        fields = lay.unpack_reference(layout, [0x60012345] + [1] * 9)
+        with pytest.raises(LayoutError):
+            lay.pack_reference(layout, fields)  # both alternatives present
+
+    def test_pack_roundtrip_whole(self):
+        layout = self.ipv6()
+        words = [0x60012345, 0xABCD1234] + list(range(2, 10))
+        fields = lay.unpack_reference(layout, words)
+        chosen = {
+            path: value
+            for path, value in fields.items()
+            if path[:2] != ("verpri", "parts")
+        }
+        assert lay.pack_reference(layout, chosen) == words
+
+    def test_pack_roundtrip_parts(self):
+        layout = self.ipv6()
+        words = [0x60012345, 0xABCD1234] + list(range(2, 10))
+        fields = lay.unpack_reference(layout, words)
+        chosen = {
+            path: value
+            for path, value in fields.items()
+            if path != ("verpri", "whole")
+        }
+        assert lay.pack_reference(layout, chosen) == words
+
+    def test_pack_missing_field_rejected(self):
+        layout = parse_layout("{a : 8, b : 8}")
+        with pytest.raises(LayoutError):
+            lay.pack_reference(layout, {("a",): 1})
+
+    def test_alignment_views(self):
+        """The paper's example: the same layout at offsets 0, 16, 24."""
+        lyt = parse_layout("{x : 16, y : 32, z : 8}")
+        value_words = [0xDEAD0000 | 0x1234, 0x56789ABC, 0xDE000000]
+        # place x=0x1234 at offset 16 using {16} ## lyt ## {24}
+        shifted = parse_layout("{16} ## l ## {24}", {"l": lyt})
+        fields = lay.unpack_reference(shifted, value_words)
+        assert fields[("x",)] == 0x1234
+        assert fields[("y",)] == 0x56789ABC
+        assert fields[("z",)] == 0xDE
+
+
+# -- property-based tests -----------------------------------------------------
+
+
+@st.composite
+def random_layout(draw, max_fields=6):
+    """A random flat layout of named fields and gaps."""
+    n = draw(st.integers(1, max_fields))
+    items = []
+    for i in range(n):
+        is_gap = draw(st.booleans())
+        bits = draw(st.integers(1, 32))
+        if is_gap:
+            items.append(("", lay.Gap(bits)))
+        else:
+            items.append((f"f{i}", lay.BitField(bits)))
+    return lay.Seq(tuple(items))
+
+
+@given(random_layout(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_pack_unpack_roundtrip_property(layout, data):
+    """pack . unpack == identity on field values (gaps drop)."""
+    leaves = lay.leaf_fields(layout)
+    values = {
+        leaf.path: data.draw(
+            st.integers(0, (1 << leaf.bits) - 1), label=str(leaf.path)
+        )
+        for leaf in leaves
+    }
+    words = lay.pack_reference(layout, values)
+    assert len(words) == lay.packed_words(layout)
+    got = lay.unpack_reference(layout, words)
+    assert got == values
+
+
+@given(random_layout())
+@settings(max_examples=80, deadline=None)
+def test_leaves_do_not_overlap_property(layout):
+    """Non-overlay leaves occupy disjoint bit ranges."""
+    spans = [
+        range(leaf.offset, leaf.offset + leaf.bits)
+        for leaf in lay.leaf_fields(layout)
+    ]
+    for i, a in enumerate(spans):
+        for b in spans[i + 1 :]:
+            assert set(a).isdisjoint(b)
+
+
+@given(random_layout(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_extract_sees_only_own_bits_property(layout, data):
+    """Extracting one field is unaffected by all other fields."""
+    leaves = lay.leaf_fields(layout)
+    if not leaves:
+        return
+    target = data.draw(st.sampled_from(leaves))
+    value = data.draw(st.integers(0, (1 << target.bits) - 1))
+    base = {
+        leaf.path: 0 if leaf.path != target.path else value for leaf in leaves
+    }
+    noisy = {
+        leaf.path: (
+            value
+            if leaf.path == target.path
+            else data.draw(st.integers(0, (1 << leaf.bits) - 1), label="noise")
+        )
+        for leaf in leaves
+    }
+    words_a = lay.pack_reference(layout, base)
+    words_b = lay.pack_reference(layout, noisy)
+    recipe = lay.extract_recipe(target)
+    assert lay.extract_value(words_a, recipe) == value
+    assert lay.extract_value(words_b, recipe) == value

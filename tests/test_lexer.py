@@ -1,0 +1,125 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.nova.lexer import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        tok = tokenize("packet_count")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "packet_count"
+
+    def test_underscore_identifier(self):
+        tok = tokenize("_tmp")[0]
+        assert tok.kind is TokenKind.IDENT
+
+    def test_keyword_recognized(self):
+        tok = tokenize("layout")[0]
+        assert tok.kind is TokenKind.KEYWORD
+
+    def test_keyword_prefix_is_identifier(self):
+        tok = tokenize("layouts")[0]
+        assert tok.kind is TokenKind.IDENT
+
+    def test_all_memory_keywords(self):
+        for word in ("sram", "sdram", "scratch", "hash", "csr", "ctx_swap"):
+            assert tokenize(word)[0].kind is TokenKind.KEYWORD
+
+
+class TestNumbers:
+    def test_decimal(self):
+        tok = tokenize("42")[0]
+        assert tok.kind is TokenKind.INT
+        assert tok.value == 42
+
+    def test_hex(self):
+        assert tokenize("0xFF")[0].value == 255
+        assert tokenize("0Xff")[0].value == 255
+
+    def test_binary(self):
+        assert tokenize("0b1010")[0].value == 10
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_malformed_hex_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_malformed_binary_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0b")
+
+    def test_digit_then_letter_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+
+class TestPunctuation:
+    def test_maximal_munch_shift(self):
+        assert texts("a << b") == ["a", "<<", "b"]
+
+    def test_maximal_munch_arrow(self):
+        assert texts("sram(0) <- x") == ["sram", "(", "0", ")", "<-", "x"]
+
+    def test_concat_operator(self):
+        assert texts("a ## b") == ["a", "##", "b"]
+
+    def test_compare_vs_assign(self):
+        assert texts("a == b = c := d") == ["a", "==", "b", "=", "c", ":=", "d"]
+
+    def test_le_vs_lt(self):
+        assert texts("a <= b < c") == ["a", "<=", "b", "<", "c"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_comment_only(self):
+        assert kinds("// nothing") == [TokenKind.EOF]
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].span.start.line == 1
+        assert tokens[1].span.start.line == 2
+        assert tokens[1].span.start.col == 3
+
+    def test_filename_recorded(self):
+        tok = tokenize("x", filename="test.nova")[0]
+        assert tok.span.filename == "test.nova"
+
+    def test_helpers(self):
+        tok = tokenize("(")[0]
+        assert tok.is_punct("(")
+        assert not tok.is_punct(")")
+        assert not tok.is_keyword("fun")

@@ -1,0 +1,84 @@
+"""Assembler-listing tests."""
+
+from repro.ixp import isa
+from repro.ixp.banks import Bank
+from repro.ixp.listing import render_instr, render_listing
+
+from tests.helpers import compile_full
+
+
+def P(bank, index):
+    return isa.PhysReg(bank, index)
+
+
+class TestRenderInstr:
+    def test_alu(self):
+        text = render_instr(
+            isa.Alu(P(Bank.A, 1), "add", P(Bank.A, 0), P(Bank.B, 2))
+        )
+        assert text == "alu[a1, a0, +, b2]"
+
+    def test_shift_uses_alu_shf(self):
+        text = render_instr(
+            isa.Alu(P(Bank.B, 0), "shr", P(Bank.A, 3), isa.Imm(16))
+        )
+        assert text.startswith("alu_shf[b0")
+        assert ">>16" in text
+
+    def test_transfer_register_naming(self):
+        text = render_instr(
+            isa.MemOp("sram", "read", P(Bank.A, 0), (P(Bank.L, 2), P(Bank.L, 3)))
+        )
+        assert "$xfer2" in text
+        assert "sram[read" in text
+        assert text.endswith("ctx_swap")
+
+    def test_sdram_double_dollar(self):
+        text = render_instr(
+            isa.MemOp("sdram", "read", P(Bank.B, 1), (P(Bank.LD, 0), P(Bank.LD, 1)))
+        )
+        assert "$$xfer0" in text
+
+    def test_wide_immed_two_instructions(self):
+        text = render_instr(isa.Immed(P(Bank.A, 0), 0x12345678))
+        assert "immed_w0" in text and "immed_w1" in text
+
+    def test_narrow_immed(self):
+        assert render_instr(isa.Immed(P(Bank.A, 0), 42)) == "immed[a0, 0x2a]"
+
+    def test_branch_pair(self):
+        text = render_instr(
+            isa.BrCmp("lt", P(Bank.A, 0), isa.Imm(4), "loop", "exit")
+        )
+        assert "br<0[loop#]" in text
+        assert "br[exit#]" in text
+
+    def test_hash(self):
+        text = render_instr(isa.HashInstr(P(Bank.L, 3), P(Bank.S, 3)))
+        assert text.startswith("hash1_48[$xfer3]")
+
+
+class TestFullListing:
+    def test_allocated_program_renders(self):
+        comp = compile_full(
+            """
+            fun main (b) {
+              let (x, y) = sram(b);
+              sram(b + 8) <- (y, x);
+              x + y
+            }
+            """
+        )
+        listing = render_listing(comp.physical, title="swap demo")
+        assert listing.startswith("; swap demo")
+        assert "entry#:" in listing
+        assert "sram[read" in listing
+        assert "sram[write" in listing
+        # Every line is either a label, comment, or indented instruction.
+        for line in listing.splitlines():
+            assert (
+                line.startswith(";")
+                or line.endswith("#:")
+                or line.startswith("    ")
+                or not line
+            )

@@ -1,0 +1,151 @@
+"""Nested function declarations (paper Section 3.1).
+
+"Nova functions can be nested so that free occurrences of variables in
+an inner function refer to their corresponding definitions in the outer
+scope... closures do not have to be memory-allocated."
+"""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.nova.parser import parse_program
+from repro.nova.typecheck import typecheck_program
+
+from tests.helpers import compile_full, compile_virtual, run_main, run_physical
+
+
+class TestTyping:
+    def test_closure_over_outer_variable(self):
+        typecheck_program(
+            parse_program(
+                """
+                fun main (x) {
+                  let base = x * 2;
+                  fun scaled (k) : word { base + k }
+                  scaled(1) + scaled(2)
+                }
+                """
+            )
+        )
+
+    def test_nested_shadow_top_level(self):
+        typecheck_program(
+            parse_program(
+                """
+                fun helper (x) : word { x }
+                fun main (x) {
+                  fun helper (y) : word { y + 1 }
+                  helper(x)
+                }
+                """
+            )
+        )
+
+    def test_nested_recursion_rejected(self):
+        # The name is not in scope inside its own body.
+        with pytest.raises(TypeError_, match="unknown function"):
+            typecheck_program(
+                parse_program(
+                    """
+                    fun main (x) {
+                      fun loop (i) : word { loop(i + 1) }
+                      loop(x)
+                    }
+                    """
+                )
+            )
+
+    def test_argument_type_checked(self):
+        with pytest.raises(TypeError_, match="does not match"):
+            typecheck_program(
+                parse_program(
+                    """
+                    fun main (x) {
+                      fun f (a, b) : word { a + b }
+                      f(x)
+                    }
+                    """
+                )
+            )
+
+
+class TestSemantics:
+    def test_closure_captures_declaration_env(self):
+        comp = compile_virtual(
+            """
+            fun main (x) {
+              let base = x * 2;
+              fun scaled (k) : word { base + k }
+              let base = 999;   // shadows; the closure keeps the old one
+              scaled(1) + scaled(2)
+            }
+            """
+        )
+        # base captured as x*2 = 10: (10+1) + (10+2) = 23.
+        assert run_main(comp, x=5)[0] == [(23,)]
+
+    def test_multiple_call_sites_inline_independently(self):
+        comp = compile_virtual(
+            """
+            fun main (b) {
+              fun fetch_sum (addr) : word {
+                let (p, q) = sram(addr);
+                p + q
+              }
+              fetch_sum(b) ^ fetch_sum(b + 2)
+            }
+            """
+        )
+        image = {"sram": [(0, [1, 2, 10, 20])]}
+        assert run_main(comp, image, b=0)[0] == [((1 + 2) ^ 30,)]
+
+    def test_nested_function_raising_outer_exception(self):
+        comp = compile_virtual(
+            """
+            fun main (x) {
+              try {
+                fun guard (v) : word {
+                  if (v > 10) raise TooBig (v) else v
+                }
+                guard(x) + guard(x + 1)
+              } handle TooBig (v) { v * 4 }
+            }
+            """
+        )
+        assert run_main(comp, x=4)[0] == [(9,)]
+        assert run_main(comp, x=10)[0] == [(44,)]
+
+    def test_nested_within_loop(self):
+        comp = compile_virtual(
+            """
+            fun main (n) {
+              let acc = 0;
+              let i = 0;
+              while (i < n) {
+                fun square_ish (v) : word { v * 4 + 1 }
+                acc := acc + square_ish(i);
+                i := i + 1;
+              };
+              acc
+            }
+            """
+        )
+        expected = sum(i * 4 + 1 for i in range(5))
+        assert run_main(comp, n=5)[0] == [(expected,)]
+
+    def test_through_full_allocation(self):
+        comp = compile_full(
+            """
+            fun main (b) {
+              let (h, l) = sram(b);
+              fun mix (a, c) : word { (a << 8) | (c & 0xff) }
+              sram(b + 4) <- (mix(h, l), mix(l, h));
+              mix(h, l)
+            }
+            """
+        )
+        image = {"sram": [(0, [0x12, 0x34])]}
+        rv, mv = run_main(comp, image, b=0)
+        rp, mp = run_physical(comp, image, b=0)
+        assert rv == rp == [((0x12 << 8) | 0x34,)]
+        assert mv["sram"].dump_words(4, 2) == mp["sram"].dump_words(4, 2)

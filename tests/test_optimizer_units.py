@@ -1,0 +1,201 @@
+"""Pass-level optimizer tests (constant folding, eta, params, DCE)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cps import ir
+from repro.cps.ir import AppCont, Const, Halt, If, LetCont, LetPrim, Var
+from repro.cps.optimize import (
+    OptStats,
+    _fold,
+    _try_fold,
+    eliminate_dead,
+    eta_reduce_conts,
+    optimize,
+    simplify,
+)
+
+
+class TestFoldSemantics:
+    """_fold must match the simulator's ALU semantics bit for bit."""
+
+    @given(
+        st.sampled_from(["add", "sub", "and", "or", "xor", "shl", "shr"]),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fold_matches_machine(self, op, a, b):
+        from repro.ixp.machine import _alu_eval
+
+        assert _fold(op, [a, b]) == _alu_eval(op, a, b)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_mul_div_mod_fold(self, a, b):
+        # mul/div/mod have no machine op (selection expands them); their
+        # folds must match plain 32-bit arithmetic.
+        assert _fold("mul", [a, b]) == (a * b) & 0xFFFFFFFF
+        if b:
+            assert _fold("div", [a, b]) == a // b
+            assert _fold("mod", [a, b]) == a % b
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_unary_fold(self, a):
+        from repro.ixp.machine import _alu_eval
+
+        assert _fold("not", [a]) == _alu_eval("not", a, None)
+        assert _fold("neg", [a]) == _alu_eval("neg", a, None)
+
+    def test_division_by_zero_not_folded(self):
+        assert _fold("div", [5, 0]) is None
+        assert _fold("mod", [5, 0]) is None
+
+
+class TestTryFold:
+    def fold(self, op, a, b):
+        return _try_fold(op, (a, b), OptStats())
+
+    def test_additive_identity(self):
+        assert self.fold("add", Var("x"), Const(0)) == Var("x")
+        assert self.fold("add", Const(0), Var("x")) == Var("x")
+
+    def test_multiplicative_absorption(self):
+        assert self.fold("mul", Var("x"), Const(0)) == Const(0)
+        assert self.fold("and", Var("x"), Const(0)) == Const(0)
+
+    def test_full_mask_identity(self):
+        assert self.fold("and", Var("x"), Const(0xFFFFFFFF)) == Var("x")
+
+    def test_self_cancellation(self):
+        assert self.fold("xor", Var("x"), Var("x")) == Const(0)
+        assert self.fold("sub", Var("x"), Var("x")) == Const(0)
+        assert self.fold("and", Var("x"), Var("x")) == Var("x")
+
+    def test_no_fold_for_general_operands(self):
+        assert self.fold("add", Var("x"), Var("y")) is None
+
+
+class TestEtaReduction:
+    def test_forward_reference_rewritten(self):
+        """A jump that appears before the eta'd continuation's definition
+        in tree order (loop-exit shape) must still be redirected."""
+        term = LetCont(
+            "loop",
+            ("i",),
+            If(
+                "lt",
+                Var("i"),
+                Const(4),
+                AppCont("loop", (Var("i"),)),
+                AppCont("done", (Var("i"),)),
+            ),
+            LetCont(
+                "done",
+                ("r",),
+                AppCont("ret", (Var("r"),)),
+                AppCont("loop", (Const(0),)),
+            ),
+            recursive=True,
+        )
+        reduced = eta_reduce_conts(term)
+
+        names = []
+
+        def walk(t):
+            if isinstance(t, AppCont):
+                names.append(t.name)
+            for child in ir.subterms(t):
+                walk(child)
+
+        walk(reduced)
+        assert "done" not in names
+        assert "ret" in names
+
+    def test_eta_cycle_left_alone(self):
+        term = LetCont(
+            "a",
+            ("x",),
+            AppCont("b", (Var("x"),)),
+            LetCont(
+                "b",
+                ("y",),
+                AppCont("a", (Var("y"),)),
+                Halt((Const(0),)),
+            ),
+        )
+        reduced = eta_reduce_conts(term)  # must not loop forever
+        assert isinstance(reduced, (LetCont, Halt))
+
+
+class TestDce:
+    def test_dead_chain_removed(self):
+        term = LetPrim(
+            "a",
+            "add",
+            (Const(1), Const(2)),
+            LetPrim("b", "add", (Var("a"), Const(3)), Halt(())),
+        )
+        # The pass peels one dead layer per run (the driver iterates).
+        out = eliminate_dead(term, OptStats())
+        out = eliminate_dead(out, OptStats())
+        assert isinstance(out, Halt)
+
+    def test_live_chain_kept(self):
+        term = LetPrim(
+            "a", "add", (Const(1), Const(2)), Halt((Var("a"),))
+        )
+        out = eliminate_dead(term, OptStats())
+        assert isinstance(out, LetPrim)
+
+    def test_effectful_special_kept(self):
+        term = ir.Special(None, "csr_wr", (Const(0), Const(1)), Halt(()))
+        out = eliminate_dead(term, OptStats())
+        assert isinstance(out, ir.Special)
+
+    def test_dead_hash_removed(self):
+        term = ir.Special("h", "hash", (Const(5),), Halt(()))
+        out = eliminate_dead(term, OptStats())
+        assert isinstance(out, Halt)
+
+
+class TestSimplify:
+    def test_cse_within_dominating_scope(self):
+        term = LetPrim(
+            "a",
+            "add",
+            (Var("x"), Const(1)),
+            LetPrim(
+                "b",
+                "add",
+                (Var("x"), Const(1)),
+                Halt((Var("a"), Var("b"))),
+            ),
+        )
+        stats = OptStats()
+        out = simplify(term, stats)
+        assert stats.cse_hits == 1
+        # Both halt operands resolve to the same variable.
+        assert isinstance(out, LetPrim)
+        halt = out.body
+        assert halt.atoms[0] == halt.atoms[1]
+
+    def test_constant_branch_selects_arm(self):
+        term = If("lt", Const(1), Const(2), Halt((Const(10),)), Halt((Const(20),)))
+        stats = OptStats()
+        out = simplify(term, stats)
+        assert out == Halt((Const(10),))
+        assert stats.branches_simplified == 1
+
+    def test_optimize_is_idempotent(self):
+        term = LetPrim(
+            "a",
+            "add",
+            (Var("x"), Const(0)),
+            LetPrim("b", "xor", (Var("a"), Var("a")), Halt((Var("b"),))),
+        )
+        once = optimize(term).term
+        twice = optimize(once).term
+        assert ir.pretty(once) == ir.pretty(twice)
+        assert once == Halt((Const(0),))

@@ -1,0 +1,210 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.nova import ast
+from repro.nova.parser import parse_expr, parse_program
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("a + b * c")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_precedence_shift_under_compare(self):
+        e = parse_expr("a << 2 < b")
+        assert e.op == "<"
+        assert isinstance(e.left, ast.BinOp) and e.left.op == "<<"
+
+    def test_precedence_bitand_over_bitor(self):
+        e = parse_expr("a | b & c")
+        assert e.op == "|"
+        assert e.right.op == "&"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.left, ast.BinOp) and e.left.op == "-"
+
+    def test_unary_chain(self):
+        e = parse_expr("~-a")
+        assert isinstance(e, ast.UnOp) and e.op == "~"
+        assert isinstance(e.operand, ast.UnOp) and e.operand.op == "-"
+
+    def test_field_access_chain(self):
+        e = parse_expr("u.src_address.a1")
+        assert isinstance(e, ast.FieldAccess) and e.field_name == "a1"
+        assert isinstance(e.base, ast.FieldAccess)
+
+    def test_tuple_projection(self):
+        e = parse_expr("t.0")
+        assert isinstance(e, ast.FieldAccess) and e.field_name == "0"
+
+    def test_unit_literal(self):
+        assert isinstance(parse_expr("()"), ast.UnitLit)
+
+    def test_tuple(self):
+        e = parse_expr("(a, b, c)")
+        assert isinstance(e, ast.TupleExpr) and len(e.elems) == 3
+
+    def test_parenthesized_is_not_tuple(self):
+        assert isinstance(parse_expr("(a)"), ast.VarRef)
+
+    def test_record_literal(self):
+        e = parse_expr("[x = 1, y = b]")
+        assert isinstance(e, ast.RecordExpr)
+        assert [n for n, _ in e.fields] == ["x", "y"]
+
+    def test_record_punning(self):
+        e = parse_expr("[x, y]")
+        assert all(isinstance(v, ast.VarRef) for _, v in e.fields)
+
+    def test_call_tuple(self):
+        e = parse_expr("f(a, b)")
+        assert isinstance(e, ast.Call) and isinstance(e.arg, ast.TupleExpr)
+
+    def test_call_record(self):
+        e = parse_expr("g[x = 1]")
+        assert isinstance(e, ast.Call) and isinstance(e.arg, ast.RecordExpr)
+
+    def test_if_else(self):
+        e = parse_expr("if (a < b) x else y")
+        assert isinstance(e, ast.IfExpr)
+        assert e.else_branch is not None
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a b")
+
+
+class TestMemoryAndHardware:
+    def test_sram_read(self):
+        e = parse_expr("sram(100)")
+        assert isinstance(e, ast.MemRead)
+        assert e.space == "sram" and e.count is None
+
+    def test_sram_read_with_count(self):
+        e = parse_expr("sram(100, 4)")
+        assert e.count == 4
+
+    def test_sram_write(self):
+        e = parse_expr("sram(100) <- (a, b)")
+        assert isinstance(e, ast.MemWrite)
+
+    def test_sdram_and_scratch(self):
+        assert parse_expr("sdram(0, 2)").space == "sdram"
+        assert parse_expr("scratch(0)").space == "scratch"
+
+    def test_hash(self):
+        assert isinstance(parse_expr("hash(x)"), ast.HashOp)
+
+    def test_csr_read_write(self):
+        r = parse_expr("csr(3)")
+        assert isinstance(r, ast.CsrOp) and r.value is None
+        w = parse_expr("csr(3) <- x")
+        assert w.value is not None
+
+    def test_ctx_swap(self):
+        assert isinstance(parse_expr("ctx_swap()"), ast.CtxSwap)
+
+    def test_unpack(self):
+        e = parse_expr("unpack[hdr](p)")
+        assert isinstance(e, ast.UnpackExpr)
+
+    def test_pack_with_record(self):
+        e = parse_expr("pack[hdr] [a = 1, b = 2]")
+        assert isinstance(e, ast.PackExpr)
+        assert isinstance(e.arg, ast.RecordExpr)
+
+    def test_pack_with_expr(self):
+        e = parse_expr("pack[hdr](u)")
+        assert isinstance(e.arg, ast.VarRef)
+
+    def test_unpack_concat_layout(self):
+        e = parse_expr("unpack[{16} ## lyt ## {24}](p)")
+        assert isinstance(e, ast.UnpackExpr)
+
+
+class TestStatements:
+    def test_block_with_let(self):
+        e = parse_expr("{ let x = 1; x + 1 }")
+        assert isinstance(e, ast.Block)
+        assert len(e.stmts) == 1 and e.result is not None
+
+    def test_block_without_result(self):
+        e = parse_expr("{ let x = 1; }")
+        assert e.result is None
+
+    def test_assignment(self):
+        e = parse_expr("{ x := x + 1; }")
+        assert isinstance(e.stmts[0], ast.AssignStmt)
+
+    def test_tuple_pattern_let(self):
+        e = parse_expr("{ let (a, b) = sram(0); a }")
+        let = e.stmts[0]
+        assert isinstance(let.pat, ast.TuplePat)
+
+    def test_while(self):
+        e = parse_expr("while (i < 4) { i := i + 1; }")
+        assert isinstance(e, ast.WhileExpr)
+
+    def test_try_handle(self):
+        e = parse_expr(
+            "try { raise E (1) } handle E (x) { x } handle F () { 0 }"
+        )
+        assert isinstance(e, ast.TryExpr)
+        assert [h.exn for h in e.handlers] == ["E", "F"]
+
+    def test_try_without_handler_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("try { 1 }")
+
+    def test_raise_record(self):
+        e = parse_expr("raise X [b = 1, c = 2]")
+        assert isinstance(e, ast.RaiseExpr)
+        assert isinstance(e.arg, ast.RecordExpr)
+
+    def test_raise_unit(self):
+        e = parse_expr("raise X")
+        assert isinstance(e.arg, ast.UnitLit)
+
+
+class TestPrograms:
+    def test_layout_and_fun(self):
+        p = parse_program(
+            """
+            layout h = { a : 8, b : 24 };
+            fun main (x) : word { x }
+            """
+        )
+        assert [l.name for l in p.layouts] == ["h"]
+        assert [f.name for f in p.funs] == ["main"]
+
+    def test_record_params(self):
+        p = parse_program("fun g [x1, x2 : word] { x1 }")
+        assert isinstance(p.funs[0].param, ast.RecordPat)
+
+    def test_typed_params(self):
+        p = parse_program("fun f (p : packed(h), n : word) : word { n }")
+        pat = p.funs[0].param
+        assert isinstance(pat.elems[0].ty, ast.PackedTE)
+
+    def test_single_param_wrapped_in_tuple(self):
+        p = parse_program("fun f (x) { x }")
+        assert isinstance(p.funs[0].param, ast.TuplePat)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("layout h = { a : 8 }")
+
+    def test_stray_toplevel_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("let x = 1;")
+
+    def test_fun_lookup(self):
+        p = parse_program("fun a () { 1 } fun b () { 2 }")
+        assert p.fun("b").name == "b"
+        with pytest.raises(KeyError):
+            p.fun("c")

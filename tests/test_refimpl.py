@@ -1,0 +1,204 @@
+"""Reference implementation tests (known vectors + properties)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.refimpl import aes, kasumi, nat
+
+
+class TestAesReference:
+    def test_fips197_vector(self):
+        """FIPS-197 Appendix C.1: the canonical AES-128 test vector."""
+        key = bytes(range(16))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert aes.aes_encrypt_block(plaintext, key) == expected
+
+    def test_fips197_appendix_b_vector(self):
+        """FIPS-197 Appendix B worked example."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert aes.aes_encrypt_block(plaintext, key) == expected
+
+    def test_key_expansion_head_and_tail(self):
+        """FIPS-197 Appendix A.1 expansion of the 2b7e... key."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        words = aes.expand_key(key)
+        assert len(words) == 44
+        assert words[0] == 0x2B7E1516
+        assert words[4] == 0xA0FAFE17
+        assert words[43] == 0xB6630CA6
+
+    def test_t_tables_consistent_with_sbox(self):
+        t0, t1, t2, t3 = aes.aes_t_tables()
+        for byte in range(256):
+            s = aes.AES_SBOX[byte]
+            assert (t0[byte] >> 16) & 0xFF == s
+            assert (t1[byte] >> 8) & 0xFF == s
+            assert t2[byte] >> 24 in range(256)
+            # Rotation relations between the tables.
+            assert t1[byte] == ((t0[byte] >> 8) | (t0[byte] << 24)) & 0xFFFFFFFF
+            assert t2[byte] == ((t1[byte] >> 8) | (t1[byte] << 24)) & 0xFFFFFFFF
+
+    def test_sbox_is_permutation(self):
+        assert sorted(aes.AES_SBOX) == list(range(256))
+
+    def test_payload_ecb_blocks_independent(self):
+        key = bytes(16)
+        payload = bytes(range(32))
+        out = aes.aes_encrypt_payload(payload, key)
+        assert out[:16] == aes.aes_encrypt_block(payload[:16], key)
+        assert out[16:] == aes.aes_encrypt_block(payload[16:], key)
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_encryption_is_injective_on_samples(self, block, key):
+        """Changing the plaintext changes the ciphertext."""
+        other = bytes([block[0] ^ 1]) + block[1:]
+        assert aes.aes_encrypt_block(block, key) != aes.aes_encrypt_block(
+            other, key
+        )
+
+
+class TestKasumiReference:
+    KEY = bytes.fromhex("2bd6459f82c5b300952c49104881ff48")
+
+    def test_sboxes_are_permutations(self):
+        assert sorted(kasumi.S7) == list(range(128))
+        assert sorted(kasumi.S9) == list(range(512))
+
+    def test_subkey_schedule_shapes(self):
+        rounds = kasumi.kasumi_subkeys(self.KEY)
+        assert len(rounds) == 8
+        for sub in rounds:
+            assert len(sub["KL"]) == 2
+            assert len(sub["KO"]) == 3
+            assert len(sub["KI"]) == 3
+            for value in sub["KL"] + sub["KO"] + sub["KI"]:
+                assert 0 <= value <= 0xFFFF
+
+    def test_fl_is_involution_free_but_invertible_structure(self):
+        # FL with zero keys: right ^= rol1(left & 0) = right;
+        # left ^= rol1(right | 0).
+        out = kasumi.fl(0x00010001, (0, 0))
+        assert out & 0xFFFF == 0x0001
+
+    def test_fi_range(self):
+        for data in (0, 1, 0x7FFF, 0xFFFF):
+            assert 0 <= kasumi.fi(data, 0x1234) <= 0xFFFF
+
+    def test_block_roundtrip_determinism(self):
+        block = bytes.fromhex("ea024714ad5c4d84")
+        a = kasumi.kasumi_encrypt_block(block, self.KEY)
+        b = kasumi.kasumi_encrypt_block(block, self.KEY)
+        assert a == b
+        assert a != block
+
+    def test_key_sensitivity(self):
+        block = bytes(8)
+        k2 = bytes([self.KEY[0] ^ 1]) + self.KEY[1:]
+        assert kasumi.kasumi_encrypt_block(
+            block, self.KEY
+        ) != kasumi.kasumi_encrypt_block(block, k2)
+
+    def test_packed_subkeys_layout(self):
+        words = kasumi.packed_subkey_words(self.KEY)
+        assert len(words) == 32
+        rounds = kasumi.kasumi_subkeys(self.KEY)
+        assert (words[0] >> 16) & 0xFFFF == rounds[0]["KL"][0]
+        assert words[0] & 0xFFFF == rounds[0]["KL"][1]
+        assert (words[2] >> 16) & 0xFFFF == rounds[0]["KO"][2]
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_feistel_structure_left_becomes_right(self, left, right):
+        """After one round pair the Feistel wiring must hold: running
+        the cipher twice with the same input is deterministic and the
+        output differs from the input (with overwhelming probability for
+        a permutation-based round function)."""
+        out = kasumi.kasumi_encrypt_words(left, right, self.KEY)
+        assert out == kasumi.kasumi_encrypt_words(left, right, self.KEY)
+
+
+class TestNatReference:
+    def make_ipv6(self, payload_length=100, hop=64, nxt=6):
+        src = [0x20010DB8, 0, 0, 1]
+        dst = [0x20010DB8, 0, 0, 2]
+        w0 = (6 << 28) | (0x0A << 20) | 0x12345
+        w1 = (payload_length << 16) | (nxt << 8) | hop
+        return [w0, w1] + src + dst, src, dst
+
+    def test_parse_fields(self):
+        words, src, dst = self.make_ipv6()
+        h = nat.parse_ipv6_header(words)
+        assert h["version"] == 6
+        assert h["traffic_class"] == 0x0A
+        assert h["flow_label"] == 0x12345
+        assert h["payload_length"] == 100
+        assert h["next_header"] == 6
+        assert h["hop_limit"] == 64
+        assert h["src"] == src and h["dst"] == dst
+
+    def test_checksum_known_values(self):
+        # Halves summing to 0xffff checksum to zero.
+        assert nat.internet_checksum([0xFFFF0000]) == 0
+        # Checksum over zeros is 0xffff.
+        assert nat.internet_checksum([0, 0]) == 0xFFFF
+        # Carry folding: 0x8000 + 0x8001 = 0x10001 -> 0x0002 -> ~ = 0xfffd.
+        assert nat.internet_checksum([0x80008001]) == 0xFFFD
+
+    def test_checksum_verifies(self):
+        """Inserting the checksum makes the total sum come out right."""
+        words, _, _ = self.make_ipv6()
+        table = nat.build_nat_table(
+            {(0x20010DB8, 0, 0, 1): 0x0A000001, (0x20010DB8, 0, 0, 2): 0x0A000002}
+        )
+        header = nat.translate_ipv6_to_ipv4(words, table)
+        total = 0
+        for word in header:
+            total += (word >> 16) & 0xFFFF
+            total += word & 0xFFFF
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+    def test_translation_fields(self):
+        words, src, dst = self.make_ipv6(payload_length=80, hop=33, nxt=17)
+        table = nat.build_nat_table(
+            {tuple(src): 0xC0A80001, tuple(dst): 0xC0A80002}
+        )
+        header = nat.translate_ipv6_to_ipv4(words, table)
+        assert len(header) == 5
+        assert header[0] >> 28 == 4  # version
+        assert (header[0] >> 24) & 0xF == 5  # ihl
+        assert (header[0] >> 16) & 0xFF == 0x0A  # tos = traffic class
+        assert header[0] & 0xFFFF == 100  # 80 + 20
+        assert header[2] >> 24 == 33  # ttl
+        assert (header[2] >> 16) & 0xFF == 17  # protocol
+        assert header[3] == 0xC0A80001
+        assert header[4] == 0xC0A80002
+
+    def test_table_lookup_uses_hash(self):
+        src = (0x20010DB8, 0, 0, 1)
+        index = nat.nat_table_index(list(src))
+        table = nat.build_nat_table({src: 0x7F000001})
+        assert table[index] == 0x7F000001
+
+    @given(
+        st.lists(st.integers(0, 2**32 - 1), min_size=5, max_size=5)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_checksum_self_verifying_property(self, words):
+        """For any header, inserting its checksum yields sum 0xffff."""
+        header = list(words)
+        header[2] &= 0xFFFF0000  # clear checksum field
+        checksum = nat.internet_checksum(header)
+        header[2] |= checksum
+        total = 0
+        for word in header:
+            total += (word >> 16) & 0xFFFF
+            total += word & 0xFFFF
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF

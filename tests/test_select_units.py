@@ -1,0 +1,170 @@
+"""Instruction-selection unit tests: parallel copies, expansions,
+graph cleanup."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cps import ir
+from repro.cps.deproc import FirstOrderProgram
+from repro.errors import SelectError
+from repro.ixp import isa
+from repro.ixp.select import _Selector
+
+from tests.helpers import compile_virtual, run_main
+
+
+def selector():
+    prog = FirstOrderProgram((), ir.Halt(()), ir.Gensym("sel_"))
+    return _Selector(prog)
+
+
+def run_copy(dests, srcs, initial):
+    """Execute an emitted parallel copy over a dict register file."""
+    sel = selector()
+    out = []
+    sel.emit_parallel_copy(
+        list(dests), [ir.Var(s) if isinstance(s, str) else ir.Const(s) for s in srcs], out
+    )
+    regs = dict(initial)
+    for instr in out:
+        if isinstance(instr, isa.Move):
+            regs[instr.dst.name] = regs[instr.src.name]
+        elif isinstance(instr, isa.Immed):
+            regs[instr.dst.name] = instr.value
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected {instr}")
+    return regs, out
+
+
+class TestParallelCopy:
+    def test_disjoint(self):
+        regs, out = run_copy(["a", "b"], ["x", "y"], {"x": 1, "y": 2})
+        assert regs["a"] == 1 and regs["b"] == 2
+        assert len(out) == 2
+
+    def test_self_move_elided(self):
+        _, out = run_copy(["a"], ["a"], {"a": 1})
+        assert out == []
+
+    def test_chain_ordering(self):
+        # b := a must run before a := x overwrites a... here: a->b, x->a.
+        regs, _ = run_copy(["b", "a"], ["a", "x"], {"a": 7, "x": 9})
+        assert regs["b"] == 7 and regs["a"] == 9
+
+    def test_swap_uses_temp(self):
+        regs, out = run_copy(["a", "b"], ["b", "a"], {"a": 1, "b": 2})
+        assert regs["a"] == 2 and regs["b"] == 1
+        assert len(out) == 3  # cycle broken with one temporary
+
+    def test_three_cycle(self):
+        regs, _ = run_copy(
+            ["a", "b", "c"], ["c", "a", "b"], {"a": 1, "b": 2, "c": 3}
+        )
+        assert (regs["a"], regs["b"], regs["c"]) == (3, 1, 2)
+
+    def test_constants_after_register_moves(self):
+        regs, _ = run_copy(["a", "b"], ["b", 42], {"a": 0, "b": 7})
+        assert regs["a"] == 7 and regs["b"] == 42
+
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_random_permutation_property(self, data):
+        """Any assignment pattern (including cycles and fan-out) lands
+        every destination on its source's original value."""
+        n = data.draw(st.integers(1, 6))
+        names = [f"r{i}" for i in range(n)]
+        dests = data.draw(
+            st.lists(
+                st.sampled_from(names), min_size=1, max_size=n, unique=True
+            )
+        )
+        srcs = [data.draw(st.sampled_from(names)) for _ in dests]
+        initial = {name: i * 10 for i, name in enumerate(names)}
+        regs, _ = run_copy(dests, srcs, initial)
+        for dst, src in zip(dests, srcs):
+            assert regs[dst] == initial[src], (dests, srcs)
+
+
+class TestExpansions:
+    def test_mul_power_of_two(self):
+        comp = compile_virtual("fun main (x) { x * 8 }")
+        assert run_main(comp, x=5)[0] == [(40,)]
+
+    def test_mul_shift_add(self):
+        comp = compile_virtual("fun main (x) { x * 10 }")
+        assert run_main(comp, x=7)[0] == [(70,)]
+
+    def test_mul_too_many_terms_rejected(self):
+        with pytest.raises(SelectError, match="shift-adds"):
+            compile_virtual("fun main (x) { x * 0xAAAA }")
+
+    def test_mul_by_variable_rejected(self):
+        with pytest.raises(SelectError, match="non-constant"):
+            compile_virtual("fun main (x, y) { x * y }")
+
+    def test_div_power_of_two(self):
+        comp = compile_virtual("fun main (x) { x / 4 }")
+        assert run_main(comp, x=22)[0] == [(5,)]
+
+    def test_div_non_power_rejected(self):
+        with pytest.raises(SelectError, match="power-of-two"):
+            compile_virtual("fun main (x) { x / 3 }")
+
+    def test_mod_power_of_two(self):
+        comp = compile_virtual("fun main (x) { x % 8 }")
+        assert run_main(comp, x=21)[0] == [(5,)]
+
+    def test_large_constant_materialized(self):
+        comp = compile_virtual("fun main (x) { x + 0x12345678 }")
+        immeds = [
+            i
+            for _, _, i in comp.flowgraph.instructions()
+            if isinstance(i, isa.Immed)
+        ]
+        assert any(i.value == 0x12345678 for i in immeds)
+
+    def test_small_constant_stays_inline(self):
+        comp = compile_virtual("fun main (x) { x + 200 }")
+        for _, _, instr in comp.flowgraph.instructions():
+            if isinstance(instr, isa.Alu):
+                assert isinstance(instr.b, isa.Imm)
+
+
+class TestGraphCleanup:
+    def test_trivial_jump_threaded(self):
+        comp = compile_virtual(
+            "fun main (x) { if (x < 1) { 1 } else { 2 } }"
+        )
+        # No block should consist solely of a jump.
+        for block in comp.flowgraph.blocks.values():
+            if len(block.instrs) == 1:
+                assert not isinstance(block.instrs[0], isa.Br)
+
+    def test_straightline_merged(self):
+        comp = compile_virtual(
+            "fun main (x) { let a = x + 1; let b = a + 2; b }"
+        )
+        assert len(comp.flowgraph.blocks) == 1
+
+    def test_all_blocks_reachable(self):
+        comp = compile_virtual(
+            """
+            fun main (x) {
+              let r = if (x < 10) x * 2
+                      else if (x < 100) x * 4
+                      else x;
+              r + 1
+            }
+            """
+        )
+        graph = comp.flowgraph
+        reachable = set()
+        stack = [graph.entry]
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            stack.extend(graph.blocks[label].successors())
+        assert reachable == set(graph.blocks)

@@ -1,0 +1,310 @@
+"""Type checker tests: the two-layer static semantics."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.nova import types as ty
+from repro.nova.parser import parse_program
+from repro.nova.typecheck import typecheck_program
+
+
+def check(source: str):
+    return typecheck_program(parse_program(source))
+
+
+def check_fails(source: str, fragment: str = ""):
+    with pytest.raises(TypeError_) as exc:
+        check(source)
+    if fragment:
+        assert fragment in str(exc.value)
+
+
+class TestBasics:
+    def test_word_arithmetic(self):
+        tp = check("fun main (x) : word { x + 1 }")
+        assert tp.return_type("main") == ty.WORD
+
+    def test_bool_from_comparison(self):
+        tp = check("fun main (x) : bool { x < 3 }")
+        assert tp.return_type("main") == ty.BOOL
+
+    def test_return_type_inferred(self):
+        tp = check("fun main (x) { x ^ x }")
+        assert tp.return_type("main") == ty.WORD
+
+    def test_declared_return_mismatch(self):
+        check_fails("fun main (x) : bool { x + 1 }")
+
+    def test_unbound_variable(self):
+        check_fails("fun main () { y }", "unbound")
+
+    def test_bool_arithmetic_rejected(self):
+        check_fails("fun main (x) { (x < 1) + 1 }")
+
+    def test_condition_must_be_bool(self):
+        check_fails("fun main (x) { if (x) 1 else 2 }")
+
+    def test_branches_must_agree(self):
+        check_fails("fun main (x) { if (x < 1) 1 else (1, 2) }")
+
+    def test_if_without_else_is_unit(self):
+        check("fun main (x) { if (x < 1) { csr(0) <- x; }; x }")
+
+    def test_if_without_else_nonunit_rejected(self):
+        check_fails("fun main (x) { let y = if (x < 1) 3; x }")
+
+    def test_shadowing_allowed(self):
+        check("fun main (x) { let x = x + 1; x }")
+
+
+class TestAggregates:
+    def test_tuple_projection(self):
+        tp = check("fun main (x) { let t = (x, x + 1); t.1 }")
+        assert tp.return_type("main") == ty.WORD
+
+    def test_tuple_index_out_of_range(self):
+        check_fails("fun main (x) { let t = (x, x); t.2 }")
+
+    def test_record_field(self):
+        check("fun main (x) { let r = [a = x, b = 2]; r.a + r.b }")
+
+    def test_missing_record_field(self):
+        check_fails("fun main (x) { let r = [a = x]; r.b }", "no field")
+
+    def test_duplicate_record_field(self):
+        check_fails("fun main (x) { [a = x, a = x] }", "duplicate")
+
+    def test_record_destructuring(self):
+        check("fun main (x) { let [a, b] = [a = x, b = 1]; a + b }")
+
+    def test_tuple_pattern_arity(self):
+        check_fails("fun main (x) { let (a, b, c) = (x, x); a }")
+
+
+class TestMemory:
+    def test_read_count_from_pattern(self):
+        tp = check("fun main (a) { let (x, y, z) = sram(a); x + y + z }")
+        assert tp.return_type("main") == ty.WORD
+
+    def test_single_read(self):
+        check("fun main (a) { let x = sram(a); x }")
+
+    def test_sdram_odd_count_rejected(self):
+        check_fails(
+            "fun main (a) { let (x, y, z) = sdram(a); x }", "2, 4, 6 or 8"
+        )
+
+    def test_sram_count_limit(self):
+        check_fails("fun main (a) : word { let t = sram(a, 9); 0 }")
+
+    def test_write_tuple(self):
+        check("fun main (a) { sram(a) <- (a, a, a); 0 }")
+
+    def test_write_requires_words(self):
+        check_fails("fun main (a) { sram(a) <- (a, a < 1); 0 }")
+
+    def test_write_nested_tuple_flattens(self):
+        check("fun main (a) { sram(a) <- (a, (a, a)); 0 }")
+
+    def test_address_must_be_word(self):
+        check_fails("fun main (a) { let t = sram(a < 1); 0 }")
+
+    def test_hash_type(self):
+        tp = check("fun main (x) { hash(x) }")
+        assert tp.return_type("main") == ty.WORD
+
+
+class TestLayouts:
+    HDR = "layout h = { a : 16, b : overlay { w : 16 | p : {x : 8, y : 8} } };"
+
+    def test_unpack_type(self):
+        tp = check(
+            self.HDR + "fun main (d : packed(h)) { let u = unpack[h](d); u.a }"
+        )
+        assert tp.return_type("main") == ty.WORD
+
+    def test_unpack_wrong_arity(self):
+        check_fails(
+            self.HDR + "fun main (d : word) { let u = unpack[h]((d, d)); 0 }"
+        )
+
+    def test_overlay_access(self):
+        check(
+            self.HDR
+            + "fun main (d : packed(h)) { let u = unpack[h](d); "
+            "u.b.w + u.b.p.x }"
+        )
+
+    def test_pack_one_alternative(self):
+        check(
+            self.HDR
+            + "fun main (v) : packed(h) { pack[h] [a = 1, b = [w = v]] }"
+        )
+
+    def test_pack_both_alternatives_rejected(self):
+        check_fails(
+            self.HDR
+            + "fun main (v) { pack[h] [a = 1, b = [w = v, p = [x = 1, "
+            "y = 2]]] }",
+            "exactly one",
+        )
+
+    def test_pack_missing_field_rejected(self):
+        check_fails(self.HDR + "fun main (v) { pack[h] [a = 1] }")
+
+    def test_pack_unknown_field_rejected(self):
+        check_fails(
+            self.HDR + "fun main (v) { pack[h] [a = 1, b = [w = v], z = 2] }",
+            "unknown",
+        )
+
+    def test_packed_type_is_word_tuple(self):
+        # h is 32 bits, so packed(h) is a single word; the singleton
+        # parameter tuple unwraps.
+        tp = check(self.HDR + "fun main (d : packed(h)) : (word) { d }")
+        assert tp.sigs["main"].param == ty.WORD
+        wide = "layout w2 = { a : 32, b : 32 };"
+        tp2 = check(wide + "fun main (d : packed(w2)) { d.0 }")
+        assert tp2.sigs["main"].param == ty.Tuple((ty.WORD, ty.WORD))
+
+
+class TestFunctionsAndRecursion:
+    def test_call_known_function(self):
+        check("fun f (x) : word { x + 1 } fun main (y) { f(y) }")
+
+    def test_forward_call_needs_annotation(self):
+        check_fails(
+            "fun main (y) { f(y) } fun f (x) { x }",
+            "return type",
+        )
+
+    def test_forward_call_with_annotation(self):
+        check("fun main (y) { f(y) } fun f (x) : word { x }")
+
+    def test_argument_mismatch(self):
+        check_fails(
+            "fun f (x, y) : word { x } fun main (z) { f(z) }",
+            "does not match",
+        )
+
+    def test_record_argument(self):
+        check("fun g [a, b] : word { a + b } fun main (x) { g[a = x, b = 1] }")
+
+    def test_tail_recursion_allowed(self):
+        check(
+            """
+            fun loop (i, acc) : word {
+              if (i == 0) acc else loop(i - 1, acc + i)
+            }
+            fun main (n) { loop(n, 0) }
+            """
+        )
+
+    def test_nontail_recursion_rejected(self):
+        check_fails(
+            """
+            fun bad (i) : word {
+              if (i == 0) 0 else bad(i - 1) + 1
+            }
+            fun main (n) { bad(n) }
+            """,
+            "tail",
+        )
+
+    def test_mutual_tail_recursion_allowed(self):
+        check(
+            """
+            fun even (i) : word { if (i == 0) 1 else odd(i - 1) }
+            fun odd (i) : word { if (i == 0) 0 else even(i - 1) }
+            fun main (n) { even(n) }
+            """
+        )
+
+    def test_mutual_nontail_rejected(self):
+        check_fails(
+            """
+            fun a (i) : word { if (i == 0) 0 else b(i - 1) ^ 1 }
+            fun b (i) : word { if (i == 0) 1 else a(i - 1) }
+            fun main (n) { a(n) }
+            """,
+            "tail",
+        )
+
+
+class TestExceptions:
+    def test_try_handle(self):
+        check(
+            """
+            fun main (x) : word {
+              try { if (x > 9) raise Big (x) else x }
+              handle Big (v) { v - 1 }
+            }
+            """
+        )
+
+    def test_raise_argument_mismatch(self):
+        check_fails(
+            """
+            fun main (x) {
+              try { raise E (x, x) } handle E (v) { v }
+            }
+            """
+        )
+
+    def test_handler_types_must_join(self):
+        check_fails(
+            """
+            fun main (x) {
+              try { x } handle E () { (x, x) }
+            }
+            """
+        )
+
+    def test_exception_passed_to_function(self):
+        check(
+            """
+            fun g [x1 : exn([b : word, c : word]), n : word] : word {
+              if (n > 3) raise x1 [b = n, c = 1] else n
+            }
+            fun main (x) : word {
+              try { g[x1 = X1, n = x] } handle X1 [b, c] { b + c }
+            }
+            """
+        )
+
+    def test_raise_outside_scope_rejected(self):
+        check_fails("fun main (x) { raise E (x) }", "unbound")
+
+    def test_duplicate_handlers_rejected(self):
+        check_fails(
+            "fun main (x) { try { x } handle E () { 0 } handle E () { 1 } }",
+            "duplicate",
+        )
+
+    def test_assignment_into_try_rejected(self):
+        check_fails(
+            """
+            fun main (x) {
+              let s = 0;
+              try { s := 1; x } handle E () { s }
+            }
+            """,
+            "path-dependent",
+        )
+
+
+class TestAssignments:
+    def test_assign_same_type(self):
+        check("fun main (x) { let i = 0; i := i + 1; i }")
+
+    def test_assign_type_mismatch(self):
+        check_fails("fun main (x) { let i = 0; i := (1, 2); i }")
+
+    def test_assign_unbound(self):
+        check_fails("fun main (x) { y := 1; x }", "unbound")
+
+    def test_while_loop(self):
+        check("fun main (x) { let i = 0; while (i < x) { i := i + 1; }; i }")
+
+    def test_while_condition_must_be_bool(self):
+        check_fails("fun main (x) { while (x) { }; 0 }")

@@ -1,0 +1,137 @@
+"""Tests for the independent verifiers (solution replay + equivalence)."""
+
+import pytest
+
+from repro.alloc.ilpmodel import AllocSolution
+from repro.alloc.verify import check_equivalence, check_solution
+from repro.ixp import isa
+from repro.ixp.banks import Bank
+
+from tests.helpers import compile_full
+from tests.programs import case
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "memory_roundtrip",
+        "clone_heavy",
+        "while_sum",
+        "hash_unit",
+        "sdram_pairs",
+    ],
+)
+def test_solutions_pass_replay(name):
+    tc = case(name)
+    comp = compile_full(tc.source)
+    report = check_solution(comp.alloc.model, comp.alloc.alloc)
+    assert report.ok, report.violations
+
+
+def _tamper(solution: AllocSolution, **changes) -> AllocSolution:
+    return AllocSolution(
+        banks_before=changes.get("banks_before", solution.banks_before),
+        banks_after=changes.get("banks_after", solution.banks_after),
+        moves=solution.moves,
+        colors=changes.get("colors", solution.colors),
+        spills=solution.spills,
+        move_count=solution.move_count,
+    )
+
+
+class TestReplayCatchesCorruption:
+    def comp(self):
+        return compile_full(case("memory_roundtrip").source)
+
+    def test_detects_wrong_aggregate_bank(self):
+        comp = self.comp()
+        solution = comp.alloc.alloc
+        # Force one read target's Before bank to A (illegal: must be L).
+        (p1, p2, names) = comp.alloc.model.sets.def_l[0]
+        banks_before = dict(solution.banks_before)
+        banks_before[(p2, names[0])] = Bank.A
+        report = check_solution(comp.alloc.model, _tamper(solution, banks_before=banks_before))
+        assert not report.ok
+        assert any("aggregate" in v or "DefL" in v for v in report.violations)
+
+    def test_detects_nonadjacent_colors(self):
+        comp = self.comp()
+        solution = comp.alloc.alloc
+        (p1, p2, names) = comp.alloc.model.sets.def_l[0]
+        colors = dict(solution.colors)
+        first = colors[(names[0], Bank.L)]
+        colors[(names[1], Bank.L)] = (first + 3) % 8
+        report = check_solution(
+            comp.alloc.model, _tamper(solution, colors=colors)
+        )
+        assert not report.ok
+        assert any("adjacent" in v for v in report.violations)
+
+    def test_detects_broken_copy(self):
+        comp = self.comp()
+        solution = comp.alloc.alloc
+        # Flip one live temp's After bank mid-range without a move.
+        p1, p2, v = sorted(comp.alloc.model.live.copies)[0]
+        banks_after = dict(solution.banks_after)
+        current = banks_after.get((p1, v))
+        if current is None:
+            pytest.skip("no after entry on this copy edge")
+        banks_after[(p1, v)] = Bank.B if current is not Bank.B else Bank.A
+        report = check_solution(
+            comp.alloc.model, _tamper(solution, banks_after=banks_after)
+        )
+        assert not report.ok
+
+    def test_detects_same_bank_operands(self):
+        comp = compile_full("fun main (x, y) { x + y }")
+        solution = comp.alloc.alloc
+        sets = comp.alloc.model.sets
+        if not sets.arith:
+            pytest.skip("no two-operand instruction")
+        p1, p2, a, b = sets.arith[0]
+        banks_after = dict(solution.banks_after)
+        banks_after[(p1, a)] = banks_after[(p1, b)] = Bank.A
+        report = check_solution(
+            comp.alloc.model, _tamper(solution, banks_after=banks_after)
+        )
+        assert not report.ok
+        assert any("both operands" in v for v in report.violations)
+
+
+class TestEquivalenceChecker:
+    def test_passes_on_correct_code(self):
+        tc = case("memory_roundtrip")
+        comp = compile_full(tc.source)
+        report = check_equivalence(
+            comp.flowgraph,
+            comp.physical,
+            comp.make_inputs(**tc.inputs),
+            comp.alloc.decoded.input_locations,
+            memory_image=tc.memory,
+            spill_region=(960, 64),
+        )
+        assert report.ok
+
+    def test_catches_sabotaged_code(self):
+        tc = case("memory_roundtrip")
+        comp = compile_full(tc.source)
+        # Sabotage: flip an ALU op in the physical code.
+        sabotaged = False
+        for block in comp.physical.blocks.values():
+            for i, instr in enumerate(block.instrs):
+                if isinstance(instr, isa.Alu) and instr.op == "add":
+                    block.instrs[i] = isa.Alu(instr.dst, "sub", instr.a, instr.b)
+                    sabotaged = True
+                    break
+            if sabotaged:
+                break
+        assert sabotaged
+        report = check_equivalence(
+            comp.flowgraph,
+            comp.physical,
+            comp.make_inputs(**tc.inputs),
+            comp.alloc.decoded.input_locations,
+            memory_image=tc.memory,
+            spill_region=(960, 64),
+        )
+        assert not report.ok
