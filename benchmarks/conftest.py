@@ -10,6 +10,7 @@ import pytest
 
 from repro.apps import build_aes_app, build_kasumi_app, build_nat_app
 from repro.compiler import CompileOptions, compile_nova
+from repro.trace import Tracer
 
 APP_BUILDERS = {
     "AES": build_aes_app,
@@ -31,12 +32,19 @@ def _benchmark_aware(benchmark):
 
 
 def compile_app(name: str, **compile_kwargs):
+    """Compile one paper application with tracing enabled.
+
+    Every compile in the benchmark harness runs under a live
+    :class:`repro.trace.Tracer`: the Figure 5-7 tables read the recorded
+    spans (``comp.trace``) instead of re-deriving the statistics per
+    test.
+    """
     app = APP_BUILDERS[name]()
     options = CompileOptions()
     options.alloc.solve.time_limit = 900
     for key, value in compile_kwargs.items():
         setattr(options, key, value)
-    return app, compile_nova(app.source, options=options)
+    return app, compile_nova(app.source, options=options, tracer=Tracer())
 
 
 @pytest.fixture(scope="session")
@@ -53,8 +61,24 @@ def virtual_apps():
         app = build()
         options = CompileOptions()
         options.run_allocator = False
-        out[name] = (app, compile_nova(app.source, options=options))
+        out[name] = (
+            app,
+            compile_nova(app.source, options=options, tracer=Tracer()),
+        )
     return out
+
+
+def span_counters(comp, name: str) -> dict:
+    """Counters of the *last* span called ``name`` in a traced compile.
+
+    "Last" matters for two-phase allocation, where ``model``/``solve``
+    spans occur once per phase and the final pair is the one Figure 7
+    tabulates.
+    """
+    assert comp.trace is not None, "compilation was not traced"
+    span = comp.trace.last(name)
+    assert span is not None, f"no '{name}' span recorded"
+    return span.counters
 
 
 #: Tables rendered during the session, replayed in the terminal summary

@@ -18,9 +18,8 @@ cycle" is about for these phases.
 
 from repro.nova.parser import parse_program
 from repro.nova.typecheck import typecheck_program
-from repro.compiler import SourceStats
 
-from benchmarks.conftest import APP_BUILDERS, print_table
+from benchmarks.conftest import APP_BUILDERS, print_table, span_counters
 
 PAPER_FIG5 = {
     "AES": dict(lines=541, layouts=7, packs=8, unpacks=5, raises=3, handles=1),
@@ -29,26 +28,21 @@ PAPER_FIG5 = {
 }
 
 
-def _stats(name: str) -> SourceStats:
-    app = APP_BUILDERS[name]()
-    program = parse_program(app.source)
-    typecheck_program(program)
-    return SourceStats.of(app.source, program)
-
-
-def test_fig5_table():
+def test_fig5_table(virtual_apps):
+    # The static statistics are the counters the tracer records on the
+    # ``parse`` span — the same numbers ``novac --trace`` prints.
     rows = []
-    for name in APP_BUILDERS:
-        s = _stats(name)
+    for name, (_, comp) in virtual_apps.items():
+        c = span_counters(comp, "parse")
         rows.append(
             [
                 name,
-                s.line_count,
-                s.layouts,
-                s.packs,
-                s.unpacks,
-                s.raises,
-                s.handles,
+                c["lines"],
+                c["layouts"],
+                c["packs"],
+                c["unpacks"],
+                c["raises"],
+                c["handles"],
             ]
         )
     print_table(

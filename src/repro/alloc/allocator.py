@@ -17,6 +17,7 @@ from repro.errors import AllocError
 from repro.ixp.banks import Bank
 from repro.ixp.flowgraph import FlowGraph
 from repro.ilp.solve import SolveOptions, solve_model
+from repro.trace import ensure
 from repro.alloc import abcolor, decode as decode_mod
 from repro.alloc.ilpmodel import (
     AllocModel,
@@ -65,17 +66,20 @@ class AllocResult:
         }
 
 
-def allocate(graph: FlowGraph, options: AllocOptions | None = None) -> AllocResult:
+def allocate(
+    graph: FlowGraph, options: AllocOptions | None = None, tracer=None
+) -> AllocResult:
     """Run the paper's ILP-based allocation pipeline on a flowgraph."""
     options = options or AllocOptions()
+    tracer = ensure(tracer)
     if options.model.remat_constants:
         from repro.alloc.remat import lift_constants
 
         graph, _ = lift_constants(graph)
     if options.two_phase:
-        return _allocate_two_phase(graph, options)
-    am = build_model(graph, options.model)
-    solution = solve_model(am.model, options.solve)
+        return _allocate_two_phase(graph, options, tracer)
+    am = build_model(graph, options.model, tracer)
+    solution = solve_model(am.model, options.solve, tracer)
     if solution.status == "infeasible":
         raise AllocError("allocation ILP is infeasible")
     return _finish(graph, am, solution, options)
@@ -106,10 +110,12 @@ def _finish(graph, am, solution, options, two_phase_seconds=None) -> AllocResult
     )
 
 
-def _allocate_two_phase(graph: FlowGraph, options: AllocOptions) -> AllocResult:
+def _allocate_two_phase(
+    graph: FlowGraph, options: AllocOptions, tracer
+) -> AllocResult:
     """Phase 1: are spills needed at all?  Phase 2: solve without M."""
     start = time.perf_counter()
-    am1 = build_model(graph, options.model)
+    am1 = build_model(graph, options.model, tracer)
     # Replace the objective: one unit per move into the M bank.
     am1.model.objective = {}
     spill_obj = {}
@@ -117,7 +123,7 @@ def _allocate_two_phase(graph: FlowGraph, options: AllocOptions) -> AllocResult:
         if b2 is Bank.M and b1 is not Bank.M:
             spill_obj[var] = 1.0
     am1.model.minimize(spill_obj)
-    phase1 = solve_model(am1.model, options.solve)
+    phase1 = solve_model(am1.model, options.solve, tracer)
     phase1_seconds = time.perf_counter() - start
     if phase1.status == "infeasible":
         raise AllocError("allocation ILP is infeasible (phase 1)")
@@ -126,8 +132,8 @@ def _allocate_two_phase(graph: FlowGraph, options: AllocOptions) -> AllocResult:
     from dataclasses import replace
 
     model_opts = replace(options.model, allow_spill=needs_spills)
-    am2 = build_model(graph, model_opts)
-    solution = solve_model(am2.model, options.solve)
+    am2 = build_model(graph, model_opts, tracer)
+    solution = solve_model(am2.model, options.solve, tracer)
     if solution.status == "infeasible":
         raise AllocError("allocation ILP is infeasible (phase 2)")
     return _finish(graph, am2, solution, options, two_phase_seconds=phase1_seconds)

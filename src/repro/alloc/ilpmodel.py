@@ -35,6 +35,7 @@ from repro.ixp import isa
 from repro.ixp.banks import Bank, READ_BANK, WRITE_BANK, XFER_SIZE
 from repro.ixp.flowgraph import FlowGraph, PointMap
 from repro.ilp.model import Model
+from repro.trace import ensure
 from repro.alloc import frequency, liveness, pruning
 
 ALU_IN = (Bank.A, Bank.B, Bank.L, Bank.LD)
@@ -273,41 +274,60 @@ class AllocModel:
 
 
 def build_model(
-    graph: FlowGraph, options: ModelOptions | None = None
+    graph: FlowGraph, options: ModelOptions | None = None, tracer=None
 ) -> AllocModel:
     options = options or ModelOptions()
-    points = graph.points()
-    live = liveness.analyze(graph)
-    sets = build_instr_sets(graph, points)
-    candidates = pruning.candidate_banks(graph, options.prune_banks)
-    costs = pruning.build_move_costs(
-        options.mv_cost, options.ld_cost, options.st_cost
-    )
-    weights = frequency.point_weights(graph)
-    reps = clone_groups(sets)
+    tracer = ensure(tracer)
+    with tracer.span("model") as sp:
+        points = graph.points()
+        live = liveness.analyze(graph)
+        sets = build_instr_sets(graph, points)
+        candidates = pruning.candidate_banks(graph, options.prune_banks)
+        costs = pruning.build_move_costs(
+            options.mv_cost, options.ld_cost, options.st_cost
+        )
+        weights = frequency.point_weights(graph)
+        reps = clone_groups(sets)
 
-    from repro.alloc.remat import const_temps_of
+        from repro.alloc.remat import const_temps_of
 
-    am = AllocModel(
-        Model("ixp-alloc"),
-        graph,
-        points,
-        live,
-        sets,
-        candidates,
-        costs,
-        weights,
-        options,
-        reps,
-        const_temps=const_temps_of(graph) if options.remat_constants else {},
-    )
-    _build_location_vars(am)
-    _build_operand_constraints(am)
-    _build_k_constraints(am)
-    _build_color_constraints(am)
-    _build_clone_constraints(am)
-    _build_spare_register_constraints(am)
-    _build_objective(am)
+        am = AllocModel(
+            Model("ixp-alloc"),
+            graph,
+            points,
+            live,
+            sets,
+            candidates,
+            costs,
+            weights,
+            options,
+            reps,
+            const_temps=const_temps_of(graph) if options.remat_constants else {},
+        )
+        _build_location_vars(am)
+        _build_operand_constraints(am)
+        _build_k_constraints(am)
+        _build_color_constraints(am)
+        _build_clone_constraints(am)
+        _build_spare_register_constraints(am)
+        _build_objective(am)
+        if sp:
+            stats = am.model.stats()
+            # Section 8 pruning: candidate (temp, bank) slots kept vs the
+            # unpruned 7-banks-per-temp baseline.
+            full_slots = 7 * len(candidates.banks)
+            sp.add(
+                variables=stats["variables"],
+                constraints=stats["constraints"],
+                nonzeros=am.model.nonzeros(),
+                objective_terms=stats["objective_terms"],
+                points=points.count,
+                temps=len(candidates.banks),
+                candidate_slots=candidates.total_bank_slots,
+                candidate_slots_full=full_slots,
+                candidate_slots_pruned=full_slots - candidates.total_bank_slots,
+                **sets.figure6_stats(),
+            )
     return am
 
 

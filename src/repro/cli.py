@@ -16,6 +16,7 @@ import sys
 from repro.compiler import CompileOptions, compile_nova
 from repro.cps import ir
 from repro.errors import NovaError
+from repro.trace import Tracer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,6 +59,16 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="hardware threads for --run (default 1)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a per-phase span table (wall time + counters)",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help="write the trace as JSON lines, one span per line",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -70,12 +81,30 @@ def main(argv: list[str] | None = None) -> int:
     options = CompileOptions()
     options.run_allocator = not args.virtual
     options.alloc.two_phase = args.two_phase
+    tracer = (
+        Tracer() if (args.trace or args.trace_json is not None) else None
+    )
     try:
-        result = compile_nova(source, args.source, options)
+        result = compile_nova(source, args.source, options, tracer=tracer)
     except NovaError as exc:
         print(f"novac: {exc}", file=sys.stderr)
         return 1
 
+    code = _render(result, args, tracer)
+    if tracer is not None:
+        if args.trace:
+            print(tracer.table())
+        if args.trace_json is not None:
+            try:
+                tracer.write_jsonl(args.trace_json)
+            except OSError as exc:
+                print(f"novac: {exc}", file=sys.stderr)
+                return 1
+    return code
+
+
+def _render(result, args, tracer) -> int:
+    """The output mode switch (everything after a successful compile)."""
     if args.cps:
         print(ir.pretty(result.ssu.term), end="")
         return 0
@@ -98,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
     if args.run is not None:
-        return _run_program(result, args)
+        return _run_program(result, args, tracer)
 
     graph = result.physical if result.alloc is not None else result.flowgraph
     if args.listing:
@@ -110,7 +139,7 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _run_program(result, args) -> int:
+def _run_program(result, args, tracer=None) -> int:
     """Execute the compiled program on the simulator (--run)."""
     from repro.ixp.machine import CLOCK_MHZ, Machine
 
@@ -142,6 +171,7 @@ def _run_program(result, args) -> int:
         threads=args.threads,
         physical=physical,
         input_provider=lambda tid, it: dict(inputs) if it == 0 else None,
+        tracer=tracer,
     )
     run = machine.run()
     for tid, halt_values in run.results:

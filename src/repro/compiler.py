@@ -27,6 +27,7 @@ from repro.cps.ssu import SsuStats, check_ssu, to_ssu
 from repro.ixp.flowgraph import FlowGraph
 from repro.ixp.select import select_instructions
 from repro.alloc.allocator import AllocOptions, AllocResult, allocate
+from repro.trace import Tracer, ensure
 
 
 @dataclass
@@ -118,6 +119,9 @@ class Compilation:
     alloc: AllocResult | None
     source_stats: SourceStats
     phase_seconds: dict[str, float]
+    #: the tracer the compile recorded spans on, when one was supplied
+    #: (``None`` for untraced compiles; see :mod:`repro.trace`).
+    trace: Tracer | None = None
 
     @property
     def physical(self) -> FlowGraph:
@@ -153,40 +157,105 @@ class Compilation:
 
 
 class Compiler:
-    """Staged compiler; reusable across programs."""
+    """Staged compiler; reusable across programs.
 
-    def __init__(self, options: CompileOptions | None = None):
+    When ``tracer`` is a live :class:`repro.trace.Tracer`, each phase
+    records a span carrying its wall time and IR-size counters (plus the
+    ILP model/solve sub-spans under ``allocate``); with the default null
+    tracer the only per-phase cost is the ``perf_counter`` pair that
+    also feeds :attr:`Compilation.phase_seconds`.
+    """
+
+    def __init__(
+        self, options: CompileOptions | None = None, tracer: Tracer | None = None
+    ):
         self.options = options or CompileOptions()
+        self.tracer = ensure(tracer)
 
     def compile(self, source: str, filename: str = "<nova>") -> Compilation:
+        tracer = self.tracer
         times: dict[str, float] = {}
 
         def timed(name: str, fn):
-            start = time.perf_counter()
-            result = fn()
-            times[name] = time.perf_counter() - start
-            return result
+            with tracer.span(name) as sp:
+                start = time.perf_counter()
+                result = fn()
+                times[name] = time.perf_counter() - start
+            return result, sp
 
-        program = timed("parse", lambda: parse_program(source, filename))
-        typed = timed("typecheck", lambda: typecheck_program(program))
-        cps = timed("cps", lambda: cps_convert(typed))
-        first_order = timed("deproc", lambda: deproceduralize(cps))
-        opt = timed(
+        program, sp_parse = timed(
+            "parse", lambda: parse_program(source, filename)
+        )
+        typed, sp = timed("typecheck", lambda: typecheck_program(program))
+        if sp:
+            sp.add(funs=len(program.funs), layouts=len(program.layouts))
+        cps, sp = timed("cps", lambda: cps_convert(typed))
+        if sp:
+            sp.add(
+                funs=len(cps.funs),
+                term_nodes=sum(ir.term_size(f.body) for f in cps.funs.values()),
+            )
+        first_order, sp = timed("deproc", lambda: deproceduralize(cps))
+        if sp:
+            sp.add(term_nodes=ir.term_size(first_order.term))
+        opt, sp = timed(
             "optimize",
             lambda: optimize(first_order.term, self.options.optimizer_rounds),
         )
+        if sp:
+            sp.add(
+                rounds=opt.stats.rounds,
+                simplifications=opt.stats.total(),
+                term_nodes=ir.term_size(opt.term),
+            )
         optimized = FirstOrderProgram(
             first_order.params, opt.term, first_order.gensym
         )
         if self.options.run_ssu:
-            ssu, ssu_stats = timed("ssu", lambda: to_ssu(optimized))
+            (pair, sp) = timed("ssu", lambda: to_ssu(optimized))
+            ssu, ssu_stats = pair
             assert check_ssu(ssu.term), "SSU transform failed its own invariant"
+            if sp:
+                sp.add(
+                    clones_inserted=ssu_stats.clones_inserted,
+                    writes_rewritten=ssu_stats.writes_rewritten,
+                    term_nodes=ir.term_size(ssu.term),
+                )
         else:
             ssu, ssu_stats = optimized, SsuStats()
-        graph = timed("select", lambda: select_instructions(ssu))
+        graph, sp = timed("select", lambda: select_instructions(ssu))
+        if sp:
+            sp.add(
+                instructions=graph.num_instructions(),
+                blocks=len(graph.blocks),
+                temps=len(graph.temps()),
+            )
         alloc = None
         if self.options.run_allocator:
-            alloc = timed("allocate", lambda: allocate(graph, self.options.alloc))
+            alloc, sp = timed(
+                "allocate", lambda: allocate(graph, self.options.alloc, tracer)
+            )
+            if sp:
+                sp.add(
+                    variables=alloc.variables,
+                    constraints=alloc.constraints,
+                    objective_terms=alloc.objective_terms,
+                    root_relaxation_seconds=alloc.root_seconds,
+                    integer_seconds=alloc.integer_seconds,
+                    moves=alloc.moves,
+                    spills=alloc.spills,
+                    status=alloc.status,
+                )
+        source_stats = SourceStats.of(source, program)
+        if sp_parse:
+            sp_parse.add(
+                lines=source_stats.line_count,
+                layouts=source_stats.layouts,
+                packs=source_stats.packs,
+                unpacks=source_stats.unpacks,
+                raises=source_stats.raises,
+                handles=source_stats.handles,
+            )
         return Compilation(
             source=source,
             program=program,
@@ -198,8 +267,9 @@ class Compiler:
             ssu_stats=ssu_stats,
             flowgraph=graph,
             alloc=alloc,
-            source_stats=SourceStats.of(source, program),
+            source_stats=source_stats,
             phase_seconds=times,
+            trace=tracer if tracer.enabled else None,
         )
 
 
@@ -207,6 +277,7 @@ def compile_nova(
     source: str,
     filename: str = "<nova>",
     options: CompileOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> Compilation:
     """Compile Nova source text through the whole pipeline."""
-    return Compiler(options).compile(source, filename)
+    return Compiler(options, tracer).compile(source, filename)

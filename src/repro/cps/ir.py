@@ -284,6 +284,18 @@ class Gensym:
 # --------------------------------------------------------------------------
 
 
+def term_size(term: Term) -> int:
+    """Number of term nodes, counted iteratively (terms nest deeply —
+    a recursive count would exceed the interpreter stack on real
+    programs).  Reported by the tracing layer as the IR-size counter."""
+    count = 0
+    stack = [term]
+    while stack:
+        count += 1
+        stack.extend(subterms(stack.pop()))
+    return count
+
+
 def subterms(term: Term) -> list[Term]:
     """Immediate child terms."""
     if isinstance(term, (LetVal, LetPrim, MemRead, MemWrite, LetClone, Special)):

@@ -171,6 +171,10 @@ class Model:
 
     # -- reporting --------------------------------------------------------------
 
+    def nonzeros(self) -> int:
+        """Structural nonzeros of the constraint matrix (Figure 7 vocabulary)."""
+        return sum(len(con.coeffs) for con in self.constraints)
+
     def stats(self) -> dict[str, int]:
         return {
             "variables": self.num_vars,
@@ -189,6 +193,9 @@ class Solution:
     root_relaxation_seconds: float
     integer_seconds: float
     nodes: int = 0
+    #: final relative MIP gap (0.0 when proved optimal with no slack;
+    #: ``inf`` when no incumbent was found).
+    gap: float = 0.0
 
     def value(self, var: int) -> float:
         return float(self.values[var])

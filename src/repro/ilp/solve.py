@@ -9,7 +9,11 @@ Two engines:
   that no black-box integer solver is required).
 
 Both report the two timings Figure 7 tabulates: the *root relaxation*
-(optimal LP solution) and the total time to integer optimality.
+(optimal LP solution) and the total time to integer optimality.  The
+``highs`` engine only pays for a separate root-relaxation ``linprog``
+solve when someone will read the number — a tracer is active or
+:attr:`SolveOptions.root_relaxation` is set — since ``milp`` does not
+report it and the extra solve is pure measurement overhead otherwise.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import numpy as np
 from scipy import optimize, sparse
 
 from repro.ilp.model import Model, Solution
+from repro.trace import ensure
 
 
 @dataclass
@@ -30,24 +35,34 @@ class SolveOptions:
     time_limit: float | None = 600.0
     gap: float = 1e-4  # CPLEX-style relative MIP gap (paper: 0.01%)
     node_limit: int = 200_000
+    #: measure the LP root relaxation with a dedicated ``linprog`` solve
+    #: even when no tracer is active (the ``bnb`` engine gets it for free
+    #: from its first node; ``highs`` needs the extra solve).
+    root_relaxation: bool = False
 
 
 def solve_root_relaxation(model: Model) -> tuple[float, float, np.ndarray]:
     """Solve the LP relaxation; returns (objective, seconds, x)."""
     c, matrix, lb, ub = model.standard_form()
+    return _root_relaxation(c, matrix, lb, ub, model.num_vars)
+
+
+def _root_relaxation(c, matrix, lb, ub, num_vars):
+    a_ub, b_ub = _ub_matrix(matrix, lb, ub)
+    a_eq, b_eq = _eq_matrix(matrix, lb, ub)
     start = time.perf_counter()
     res = optimize.linprog(
         c,
-        A_ub=_ub_matrix(matrix, lb, ub)[0],
-        b_ub=_ub_matrix(matrix, lb, ub)[1],
-        A_eq=_eq_matrix(matrix, lb, ub)[0],
-        b_eq=_eq_matrix(matrix, lb, ub)[1],
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
         bounds=(0, 1),
         method="highs",
     )
     seconds = time.perf_counter() - start
     if not res.success:
-        return math.inf, seconds, np.zeros(model.num_vars)
+        return math.inf, seconds, np.zeros(num_vars)
     return float(res.fun), seconds, res.x
 
 
@@ -79,18 +94,40 @@ def _eq_matrix(matrix, lb, ub):
     return matrix[eq_rows], ub[eq_rows]
 
 
-def solve_model(model: Model, options: SolveOptions | None = None) -> Solution:
+def solve_model(
+    model: Model, options: SolveOptions | None = None, tracer=None
+) -> Solution:
     options = options or SolveOptions()
+    tracer = ensure(tracer)
     if model.num_vars == 0:
         return Solution("optimal", 0.0, np.zeros(0), 0.0, 0.0)
-    if options.engine == "bnb":
-        return _solve_bnb(model, options)
-    return _solve_highs(model, options)
+    with tracer.span("solve", engine=options.engine) as sp:
+        if options.engine == "bnb":
+            solution = _solve_bnb(model, options)
+        else:
+            solution = _solve_highs(model, options, tracer)
+        if sp:
+            sp.add(
+                rows=len(model.constraints),
+                cols=model.num_vars,
+                nonzeros=model.nonzeros(),
+                status=solution.status,
+                objective=float(solution.objective),
+                root_relaxation_seconds=solution.root_relaxation_seconds,
+                integer_seconds=solution.integer_seconds,
+                nodes=solution.nodes,
+                gap=float(solution.gap),
+            )
+    return solution
 
 
-def _solve_highs(model: Model, options: SolveOptions) -> Solution:
+def _solve_highs(model: Model, options: SolveOptions, tracer) -> Solution:
     c, matrix, lb, ub = model.standard_form()
-    _, root_seconds, _ = solve_root_relaxation(model)
+    # milp does not report the root-relaxation time; measure it with a
+    # dedicated LP solve only when the number will actually be read.
+    root_seconds = 0.0
+    if tracer.enabled or options.root_relaxation:
+        _, root_seconds, _ = _root_relaxation(c, matrix, lb, ub, model.num_vars)
     start = time.perf_counter()
     constraints = (
         optimize.LinearConstraint(matrix, lb, ub)
@@ -108,15 +145,41 @@ def _solve_highs(model: Model, options: SolveOptions) -> Solution:
         },
     )
     seconds = time.perf_counter() - start
+    nodes = int(getattr(res, "mip_node_count", 0) or 0)
+    gap = float(getattr(res, "mip_gap", 0.0) or 0.0)
     if res.status == 0 and res.x is not None:
         values = np.round(res.x)
-        return Solution("optimal", float(res.fun), values, root_seconds, seconds)
-    if res.status == 1 and res.x is not None:  # iteration/time limit w/ sol
         return Solution(
-            "timeout", float(res.fun), np.round(res.x), root_seconds, seconds
+            "optimal", float(res.fun), values, root_seconds, seconds, nodes, gap
+        )
+    if res.status == 1:  # iteration/time limit
+        if res.x is not None:
+            return Solution(
+                "timeout",
+                float(res.fun),
+                np.round(res.x),
+                root_seconds,
+                seconds,
+                nodes,
+                gap,
+            )
+        return Solution(
+            "timeout",
+            math.inf,
+            np.zeros(model.num_vars),
+            root_seconds,
+            seconds,
+            nodes,
+            math.inf,
         )
     return Solution(
-        "infeasible", math.inf, np.zeros(model.num_vars), root_seconds, seconds
+        "infeasible",
+        math.inf,
+        np.zeros(model.num_vars),
+        root_seconds,
+        seconds,
+        nodes,
+        math.inf,
     )
 
 
@@ -125,12 +188,24 @@ def _solve_highs(model: Model, options: SolveOptions) -> Solution:
 # --------------------------------------------------------------------------
 
 
+def _relative_gap(incumbent: float, bound: float) -> float:
+    """CPLEX-style relative MIP gap between incumbent and best bound."""
+    if not math.isfinite(incumbent):
+        return math.inf
+    return (incumbent - bound) / max(1.0, abs(incumbent))
+
+
 def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
     """Depth-first branch-and-bound with best-bound pruning.
 
     LP relaxations are solved by HiGHS ``linprog`` with variable fixings
     expressed through bounds.  Branches on the most fractional variable;
-    explores the rounded branch first to find incumbents early.
+    explores the rounded branch first to find incumbents early.  Each
+    open node carries its parent's LP bound, which gives (a) pruning
+    before paying for the node's LP solve and (b) a global best bound —
+    the minimum over open nodes — so the search stops as soon as the
+    incumbent is within ``options.gap`` of it (relative MIP gap), exactly
+    like CPLEX's ``mipgap`` termination.
     """
     c, matrix, lb, ub = model.standard_form()
     a_ub, b_ub = _ub_matrix(matrix, lb, ub)
@@ -159,11 +234,13 @@ def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
 
     best_obj = math.inf
     best_x: np.ndarray | None = None
+    best_bound = -math.inf
     nodes = 0
     status = "optimal"
 
-    stack: list[tuple[np.ndarray, np.ndarray]] = [
-        (np.zeros(n), np.ones(n))
+    # (fixed lower bounds, fixed upper bounds, parent's LP bound)
+    stack: list[tuple[np.ndarray, np.ndarray, float]] = [
+        (np.zeros(n), np.ones(n), -math.inf)
     ]
     while stack:
         if options.time_limit and time.perf_counter() - start > options.time_limit:
@@ -172,7 +249,12 @@ def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
         if nodes > options.node_limit:
             status = "timeout"
             break
-        fix_lo, fix_hi = stack.pop()
+        best_bound = min(parent for _, _, parent in stack)
+        if best_x is not None and _relative_gap(best_obj, best_bound) <= options.gap:
+            break  # incumbent proved within the MIP gap: stop the search
+        fix_lo, fix_hi, parent_bound = stack.pop()
+        if parent_bound >= best_obj - 1e-9:
+            continue  # pruned by the parent's bound: no LP solve needed
         nodes += 1
         bound, x = relax(fix_lo, fix_hi)
         if x is None or bound >= best_obj - 1e-9:
@@ -181,18 +263,18 @@ def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
         branch_var = int(np.argmax(frac))
         if frac[branch_var] < 1e-6:
             # Integral solution.
-            if bound < best_obj:
-                best_obj = bound
-                best_x = np.round(x)
-                if best_obj <= options.gap:
-                    pass
+            best_obj = bound
+            best_x = np.round(x)
             continue
         # Explore the rounding of the fractional value first.
         first = int(round(x[branch_var]))
         for value in (1 - first, first):
             lo2, hi2 = fix_lo.copy(), fix_hi.copy()
             lo2[branch_var] = hi2[branch_var] = value
-            stack.append((lo2, hi2))
+            stack.append((lo2, hi2, bound))
+
+    if not stack:
+        best_bound = best_obj  # search exhausted: the bound is proved
 
     seconds = time.perf_counter() - start
     if best_x is None:
@@ -203,5 +285,14 @@ def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
             root_seconds[0],
             seconds,
             nodes,
+            math.inf,
         )
-    return Solution(status, best_obj, best_x, root_seconds[0], seconds, nodes)
+    return Solution(
+        status,
+        best_obj,
+        best_x,
+        root_seconds[0],
+        seconds,
+        nodes,
+        max(0.0, _relative_gap(best_obj, best_bound)),
+    )

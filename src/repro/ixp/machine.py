@@ -42,6 +42,7 @@ from repro.ixp.banks import (
 )
 from repro.ixp.flowgraph import FlowGraph
 from repro.ixp.memory import MemorySystem
+from repro.trace import ensure
 
 WORD_MASK = 0xFFFFFFFF
 HASH_LATENCY = 10
@@ -255,9 +256,16 @@ class Machine:
         physical: bool | None = None,
         input_provider: Callable[[int, int], dict | None] | None = None,
         max_cycles: int = 50_000_000,
+        tracer=None,
     ):
         graph.validate()
         self.graph = graph
+        self.tracer = ensure(tracer)
+        #: opcode → [issue count, cycles]; only kept while tracing so the
+        #: per-instruction cost of the histogram is one ``is None`` test.
+        self._opcode_hist: dict[str, list[int]] | None = (
+            {} if self.tracer.enabled else None
+        )
         self.memory = memory or MemorySystem.create()
         if physical is None:
             physical = _guess_physical(graph)
@@ -275,26 +283,48 @@ class Machine:
     # -- execution ------------------------------------------------------------
 
     def run(self) -> RunResult:
-        clock = 0
-        ready: list[tuple[int, int, int]] = []  # (ready_at, tid, seq)
-        seq = 0
-        for thread in self.threads:
-            if thread.restart():
-                heapq.heappush(ready, (0, thread.tid, seq))
-                seq += 1
-        while ready:
-            ready_at, tid, _ = heapq.heappop(ready)
-            clock = max(clock, ready_at)
-            thread = self.threads[tid]
-            clock = self._run_thread(thread, clock)
-            if clock > self.max_cycles:
-                raise SimulatorError(
-                    f"simulation exceeded {self.max_cycles} cycles"
+        with self.tracer.span("simulate") as sp:
+            clock = 0
+            ready: list[tuple[int, int, int]] = []  # (ready_at, tid, seq)
+            seq = 0
+            for thread in self.threads:
+                if thread.restart():
+                    heapq.heappush(ready, (0, thread.tid, seq))
+                    seq += 1
+            while ready:
+                ready_at, tid, _ = heapq.heappop(ready)
+                clock = max(clock, ready_at)
+                thread = self.threads[tid]
+                clock = self._run_thread(thread, clock)
+                if clock > self.max_cycles:
+                    raise SimulatorError(
+                        f"simulation exceeded {self.max_cycles} cycles"
+                    )
+                if not thread.done:
+                    heapq.heappush(ready, (thread.ready_at, tid, seq))
+                    seq += 1
+            result = RunResult(
+                clock, [t.stats for t in self.threads], self.results
+            )
+            if sp:
+                sp.add(
+                    cycles=result.cycles,
+                    instructions=result.instructions,
+                    threads=len(self.threads),
                 )
-            if not thread.done:
-                heapq.heappush(ready, (thread.ready_at, tid, seq))
-                seq += 1
-        return RunResult(clock, [t.stats for t in self.threads], self.results)
+                for opcode, (count, cycles) in sorted(
+                    (self._opcode_hist or {}).items()
+                ):
+                    sp.add(**{
+                        f"count.{opcode}": count,
+                        f"cycles.{opcode}": cycles,
+                    })
+        return result
+
+    def _record_opcode(self, instr: isa.Instr, cost: int) -> None:
+        entry = self._opcode_hist.setdefault(_opcode_of(instr), [0, 0])
+        entry[0] += 1
+        entry[1] += cost
 
     def _run_thread(self, thread: _Thread, clock: int) -> int:
         """Run until the thread blocks, halts, or yields; returns clock."""
@@ -303,6 +333,8 @@ class Machine:
             instr = block.instrs[thread.index]
             thread.stats.instructions += 1
             cost, blocked = self._execute(thread, instr, clock)
+            if self._opcode_hist is not None:
+                self._record_opcode(instr, cost)
             clock += cost
             if blocked:
                 thread.ready_at = blocked
@@ -461,6 +493,29 @@ class Machine:
 
     def _advance(self, thread: _Thread) -> None:
         thread.index += 1
+
+
+def _opcode_of(instr: isa.Instr) -> str:
+    """Histogram key for the tracer's per-opcode cycle counters."""
+    if isinstance(instr, isa.Alu):
+        return f"alu.{instr.op}"
+    if isinstance(instr, isa.BrCmp):
+        return f"br.{instr.cmp}"
+    if isinstance(instr, isa.MemOp):
+        return f"{instr.space}.{instr.direction}"
+    if isinstance(instr, isa.LockInstr):
+        return f"lock.{instr.kind}"
+    return {
+        isa.Move: "move",
+        isa.Clone: "clone",
+        isa.Immed: "immed",
+        isa.HashInstr: "hash",
+        isa.CsrRd: "csr_rd",
+        isa.CsrWr: "csr_wr",
+        isa.CtxArb: "ctx_arb",
+        isa.Br: "br",
+        isa.HaltInstr: "halt",
+    }.get(type(instr), type(instr).__name__.lower())
 
 
 def _guess_physical(graph: FlowGraph) -> bool:

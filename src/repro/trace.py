@@ -1,0 +1,243 @@
+"""``repro.trace`` — structured tracing and metrics for the pipeline.
+
+The paper's whole evaluation (Figures 5-7) is *measured* compiler
+behaviour: static program statistics, AMPL/ILP model sizes, CPLEX
+root-relaxation vs. integer-optimality times.  This module is the
+single place those measurements come from.  Every pipeline phase
+records a :class:`Span` — a name, a wall-clock duration, and a flat
+dictionary of phase-specific counters (IR sizes, model rows/columns,
+solver nodes, per-opcode cycle histograms) — onto a :class:`Tracer`.
+
+Consumers:
+
+- ``novac --trace`` renders the spans as a human-readable table;
+- ``novac --trace-json FILE`` writes one JSON object per span per line;
+- ``benchmarks/`` derives the Figure 5-7 tables from the same spans.
+
+Tracing is strictly opt-in.  When no tracer is supplied, callers get
+:data:`NULL`, whose span handles are falsy no-ops, so instrumented code
+pays only an attribute check::
+
+    with tracer.span("optimize") as sp:
+        term = run_passes(term)
+        if sp:                       # False on the null tracer
+            sp.add(term_nodes=expensive_count(term))
+
+Span handles stay usable after their ``with`` block exits (the span is
+already recorded; ``add`` mutates its counters in place), which lets a
+caller attach summary counters computed from the phase's result.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One traced phase: wall time plus phase-specific counters."""
+
+    name: str
+    #: seconds since the tracer was created (orders spans for display).
+    start: float
+    #: wall-clock duration; filled in when the ``with`` block exits.
+    seconds: float = 0.0
+    #: enclosing span's name, or None at top level.
+    parent: str | None = None
+    #: nesting depth (0 = top level); purely presentational.
+    depth: int = 0
+    #: flat metric dict: int/float/str values only (JSON-friendly).
+    counters: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        counters = {
+            key: (None if isinstance(value, float) and not math.isfinite(value) else value)
+            for key, value in self.counters.items()
+        }
+        return {
+            "name": self.name,
+            "parent": self.parent,
+            "start": round(self.start, 6),
+            "seconds": round(self.seconds, 6),
+            "counters": counters,
+        }
+
+
+class SpanHandle:
+    """Context manager recording one span; truthy iff actually recording."""
+
+    __slots__ = ("_tracer", "span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+        self._t0 = time.perf_counter()
+
+    def add(self, **counters: object) -> "SpanHandle":
+        """Set (overwrite) counters on the span."""
+        self.span.counters.update(counters)
+        return self
+
+    def tally(self, key: str, amount: float = 1) -> "SpanHandle":
+        """Accumulate into one counter."""
+        counters = self.span.counters
+        counters[key] = counters.get(key, 0) + amount
+        return self
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __enter__(self) -> "SpanHandle":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.span.seconds = time.perf_counter() - self._t0
+        self._tracer._exit_span(self.span)
+        return False
+
+
+class _NullHandle:
+    """Falsy do-nothing stand-in for :class:`SpanHandle`."""
+
+    __slots__ = ()
+    span = None
+
+    def add(self, **counters: object) -> "_NullHandle":
+        return self
+
+    def tally(self, key: str, amount: float = 1) -> "_NullHandle":
+        return self
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class Tracer:
+    """Collects spans; one per pipeline phase/sub-phase."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.spans: list[Span] = []
+        self._stack: list[str] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **counters: object) -> SpanHandle:
+        """Open a span; use as ``with tracer.span("parse") as sp:``.
+
+        Spans are appended at entry, so ``self.spans`` is ordered by
+        start time; nested calls record their enclosing span as
+        ``parent``.
+        """
+        sp = Span(
+            name,
+            start=time.perf_counter() - self._epoch,
+            parent=self._stack[-1] if self._stack else None,
+            depth=len(self._stack),
+            counters=dict(counters),
+        )
+        self.spans.append(sp)
+        self._stack.append(name)
+        return SpanHandle(self, sp)
+
+    def _exit_span(self, span: Span) -> None:
+        self._stack.pop()
+
+    # -- lookup --------------------------------------------------------------
+
+    def all(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def get(self, name: str) -> Span | None:
+        """First span with this name (chronological)."""
+        for s in self.spans:
+            if s.name == name:
+                return s
+        return None
+
+    def last(self, name: str) -> Span | None:
+        """Last span with this name (e.g. the phase-2 solve in two-phase)."""
+        for s in reversed(self.spans):
+            if s.name == name:
+                return s
+        return None
+
+    # -- rendering -----------------------------------------------------------
+
+    def table(self) -> str:
+        """Human-readable per-phase table (``novac --trace``)."""
+        lines = [f"{'phase':<22} {'ms':>10}  counters"]
+        for s in self.spans:
+            name = "  " * s.depth + s.name
+            counters = "  ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(s.counters.items())
+            )
+            lines.append(f"{name:<22} {s.seconds * 1000:>10.2f}  {counters}")
+        return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span per line, in start order."""
+        return "\n".join(json.dumps(s.as_dict()) for s in self.spans) + "\n"
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+
+class NullTracer:
+    """The no-op recorder: zero overhead beyond one attribute check."""
+
+    enabled = False
+    spans: tuple = ()
+
+    def span(self, name: str, **counters: object) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def all(self, name: str) -> list:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def last(self, name: str) -> None:
+        return None
+
+    def table(self) -> str:
+        return ""
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write("")
+
+
+#: Shared no-op tracer; the default everywhere a tracer is accepted.
+NULL = NullTracer()
+
+
+def ensure(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Normalize an optional tracer argument."""
+    return NULL if tracer is None else tracer
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -55,6 +55,44 @@ def test_two_phase_flag(program, capsys):
     assert main(["--two-phase", program]) == 0
 
 
+def test_trace_table(program, capsys):
+    assert main(["--trace", program]) == 0
+    out = capsys.readouterr().out
+    # The span table follows the normal assembly listing.
+    assert "entry:" in out
+    for phase in ("parse", "typecheck", "cps", "ssu", "select", "allocate"):
+        assert phase in out
+    assert "variables=" in out  # model span counters rendered inline
+
+
+def test_trace_json(program, tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["--trace-json", str(trace_path), program]) == 0
+    lines = trace_path.read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    names = [r["name"] for r in records]
+    for phase in (
+        "parse",
+        "typecheck",
+        "cps",
+        "deproc",
+        "optimize",
+        "ssu",
+        "select",
+        "allocate",
+        "model",
+        "solve",
+    ):
+        assert phase in names, f"missing span {phase}"
+    solve = next(r for r in records if r["name"] == "solve")
+    assert solve["counters"]["rows"] > 0
+    assert solve["counters"]["nodes"] >= 0
+    assert solve["counters"]["root_relaxation_seconds"] > 0
+    assert all(r["seconds"] >= 0 for r in records)
+
+
 def test_missing_file(capsys):
     assert main(["/nonexistent.nova"]) == 1
     assert "novac:" in capsys.readouterr().err

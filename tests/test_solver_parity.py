@@ -1,0 +1,147 @@
+"""Engine parity: ``highs`` and ``bnb`` must agree on every model class.
+
+The allocator treats the solving engine as interchangeable, so the two
+back ends have to reach the same objective (within the configured MIP
+gap) and report the same status on feasible, infeasible and
+resource-limited models alike.  These tests also pin the branch-and-bound
+gap-termination fix: a loose gap must visit strictly fewer nodes than a
+tight one.
+"""
+
+import random
+
+import pytest
+
+from repro.ilp.model import Model
+from repro.ilp.solve import SolveOptions, solve_model
+
+ENGINES = ["highs", "bnb"]
+
+
+def knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    x = m.family("x")
+    m.add({x[(i,)]: w for i, w in enumerate(weights)}, "<=", capacity)
+    m.minimize({x[(i,)]: -v for i, v in enumerate(values)})
+    return m
+
+
+def hard_knapsack(seed: int) -> Model:
+    """Weakly correlated knapsack: fractional LP root, real B&B tree."""
+    rng = random.Random(seed)
+    weights = [rng.randint(3, 30) for _ in range(14)]
+    values = [w + rng.randint(-2, 2) for w in weights]
+    return knapsack_model(values, weights, sum(weights) // 2)
+
+
+def assignment_model(costs):
+    """Assign each worker to exactly one task, each task to one worker."""
+    n = len(costs)
+    m = Model("assignment")
+    x = m.family("x")
+    for i in range(n):
+        m.add_sum_eq([x[(i, j)] for j in range(n)], 1)
+    for j in range(n):
+        m.add_sum_eq([x[(i, j)] for i in range(n)], 1)
+    m.minimize({x[(i, j)]: costs[i][j] for i in range(n) for j in range(n)})
+    return m
+
+
+def cover_model():
+    """Small set-cover: pick sets covering {0..4} at minimum cost."""
+    sets = {
+        "a": ([0, 1, 2], 3.0),
+        "b": ([1, 3], 2.0),
+        "c": ([2, 4], 2.0),
+        "d": ([0, 3, 4], 3.5),
+        "e": ([4], 1.0),
+    }
+    m = Model("cover")
+    x = m.family("x")
+    for element in range(5):
+        members = [x[(name,)] for name, (covered, _) in sets.items() if element in covered]
+        m.add({v: 1.0 for v in members}, ">=", 1)
+    m.minimize({x[(name,)]: cost for name, (_, cost) in sets.items()})
+    return m
+
+
+FEASIBLE_MODELS = {
+    "knapsack": lambda: knapsack_model([6, 5, 8, 9, 6, 7, 3], [2, 3, 6, 7, 5, 9, 4], 15),
+    "hard_knapsack": lambda: hard_knapsack(2),
+    "assignment": lambda: assignment_model(
+        [[9, 2, 7], [6, 4, 3], [5, 8, 1]]
+    ),
+    "cover": cover_model,
+}
+
+
+class TestParity:
+    @pytest.mark.parametrize("name", sorted(FEASIBLE_MODELS))
+    def test_engines_agree_on_objective(self, name):
+        model = FEASIBLE_MODELS[name]()
+        options = SolveOptions(gap=1e-6)
+        solutions = {
+            engine: solve_model(
+                model, SolveOptions(engine=engine, gap=options.gap)
+            )
+            for engine in ENGINES
+        }
+        for engine, sol in solutions.items():
+            assert sol.status == "optimal", (name, engine, sol.status)
+            # 0-1 solution vector satisfying integrality.
+            assert all(v in (0.0, 1.0) for v in sol.values)
+        highs, bnb = solutions["highs"], solutions["bnb"]
+        denom = max(1.0, abs(highs.objective))
+        assert abs(highs.objective - bnb.objective) / denom <= options.gap
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_infeasible(self, engine):
+        m = Model("infeasible")
+        x = m.family("x")
+        m.add({x[(0,)]: 1.0, x[(1,)]: 1.0}, ">=", 3)  # two 0-1 vars can't reach 3
+        m.minimize({x[(0,)]: 1.0})
+        sol = solve_model(m, SolveOptions(engine=engine))
+        assert sol.status == "infeasible"
+
+    def test_bnb_node_limit_reports_timeout(self):
+        sol = solve_model(
+            hard_knapsack(0),
+            SolveOptions(engine="bnb", node_limit=0, gap=1e-9),
+        )
+        assert sol.status == "timeout"
+
+    def test_highs_time_limit_is_not_infeasible(self):
+        # A model HiGHS cannot finish inside the limit must come back as
+        # "timeout" (the seed mislabeled the missing solution vector as
+        # "infeasible").  HiGHS may still solve tiny models in presolve
+        # even with a near-zero budget, so accept an optimal finish.
+        sol = solve_model(
+            hard_knapsack(0),
+            SolveOptions(engine="highs", time_limit=1e-9, gap=1e-9),
+        )
+        assert sol.status in ("timeout", "optimal")
+
+
+class TestGapTermination:
+    @pytest.mark.parametrize("seed", [0, 2, 5])
+    def test_loose_gap_visits_fewer_nodes(self, seed):
+        model = hard_knapsack(seed)
+        tight = solve_model(model, SolveOptions(engine="bnb", gap=1e-9))
+        loose = solve_model(model, SolveOptions(engine="bnb", gap=0.5))
+        assert tight.status == "optimal" and loose.status == "optimal"
+        assert loose.nodes < tight.nodes, (
+            f"gap=0.5 visited {loose.nodes} nodes, "
+            f"gap=1e-9 visited {tight.nodes}"
+        )
+        # The loose solve still honors its advertised gap bound.
+        denom = max(1.0, abs(loose.objective))
+        assert (loose.objective - tight.objective) / denom <= 0.5
+        assert loose.gap <= 0.5 + 1e-12
+
+    def test_optimal_solve_reports_zero_gap(self):
+        sol = solve_model(
+            FEASIBLE_MODELS["knapsack"](),
+            SolveOptions(engine="bnb", gap=1e-9),
+        )
+        assert sol.status == "optimal"
+        assert sol.gap == pytest.approx(0.0, abs=1e-9)
