@@ -1,0 +1,237 @@
+"""``repro.batch`` — compile many Nova programs as one failure-tolerant job.
+
+The paper's compiler is batch-oriented: one program, one multi-second
+ILP solve.  This module turns :func:`repro.compiler.compile_nova` into a
+throughput-oriented pipeline: :func:`compile_many` fans a list of
+sources out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(``jobs`` workers; ``jobs=1`` stays in-process), routes every unit
+through the content-addressed :class:`repro.cache.CompileCache` when a
+cache directory is given, and collects a structured per-unit record —
+artifact or error — instead of dying on the first :class:`NovaError`.
+
+Tracing threads through both layers: each unit compiles under its own
+:class:`repro.trace.Tracer` (workers ship their spans back as picklable
+data) and the driver adopts them under a ``unit`` span nested in the
+job-level ``batch`` span, so ``novac --jobs 4 --trace`` renders one
+coherent table for the whole job.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.cache import CompileCache, cached_compile
+from repro.compiler import Compilation, CompileOptions
+from repro.errors import NovaError
+from repro.trace import Tracer, ensure
+
+
+@dataclass
+class BatchError:
+    """A structured compile failure (picklable, renderable)."""
+
+    kind: str
+    message: str
+    location: str | None = None
+
+    @staticmethod
+    def from_exception(exc: BaseException) -> "BatchError":
+        if isinstance(exc, NovaError):
+            return BatchError(
+                kind=type(exc).__name__,
+                message=exc.message,
+                location=str(exc.span) if exc.span is not None else None,
+            )
+        return BatchError(kind=type(exc).__name__, message=str(exc))
+
+    def __str__(self) -> str:
+        prefix = f"{self.location}: " if self.location else ""
+        return f"{prefix}{self.message} [{self.kind}]"
+
+
+@dataclass
+class BatchUnit:
+    """Outcome of compiling one source in the batch."""
+
+    name: str
+    ok: bool
+    compilation: Compilation | None
+    error: BatchError | None
+    seconds: float
+    #: 'hit' | 'miss' when a cache directory was given, else 'off'.
+    cache: str = "off"
+
+
+@dataclass
+class BatchResult:
+    units: list[BatchUnit]
+    seconds: float
+    jobs: int
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> list[BatchUnit]:
+        return [u for u in self.units if u.ok]
+
+    @property
+    def failed(self) -> list[BatchUnit]:
+        return [u for u in self.units if not u.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for u in self.units if u.cache == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for u in self.units if u.cache == "miss")
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "units": len(self.units),
+            "ok": len(self.ok),
+            "failed": len(self.failed),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "jobs": self.jobs,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+def _normalize(sources: Iterable) -> list[tuple[str, str | None]]:
+    """Each source is a path (read lazily in the worker) or (name, text)."""
+    items: list[tuple[str, str | None]] = []
+    for entry in sources:
+        if isinstance(entry, (str, Path)):
+            items.append((str(entry), None))
+        else:
+            name, text = entry
+            items.append((str(name), text))
+    return items
+
+
+def _compile_unit(
+    name: str,
+    text: str | None,
+    options: CompileOptions,
+    cache_dir: str | None,
+    trace: bool,
+    keep_artifacts: bool,
+) -> tuple[BatchUnit, list]:
+    """One unit of work; runs in-process or inside a pool worker.
+
+    Never raises: every failure — unreadable file, any compile-phase
+    :class:`NovaError`, even an unexpected internal error — comes back
+    as a :class:`BatchError` so the rest of the batch proceeds.
+    """
+    tracer = Tracer() if trace else None
+    span_source = ensure(tracer)
+    start = time.perf_counter()
+    with span_source.span("unit", file=name) as sp:
+        try:
+            if text is None:
+                with open(name) as handle:
+                    text = handle.read()
+            cache = (
+                CompileCache(cache_dir, tracer) if cache_dir is not None else None
+            )
+            compilation, cache_state = cached_compile(
+                text, name, options, cache, tracer
+            )
+        except Exception as exc:
+            unit = BatchUnit(
+                name=name,
+                ok=False,
+                compilation=None,
+                error=BatchError.from_exception(exc),
+                seconds=time.perf_counter() - start,
+            )
+            if sp:
+                sp.add(outcome=f"error:{unit.error.kind}")
+            return unit, list(span_source.spans) if tracer else []
+        unit = BatchUnit(
+            name=name,
+            ok=True,
+            compilation=compilation.slim() if keep_artifacts else None,
+            error=None,
+            seconds=time.perf_counter() - start,
+            cache=cache_state,
+        )
+        if sp:
+            sp.add(outcome="ok", cache=cache_state)
+    return unit, list(span_source.spans) if tracer else []
+
+
+def default_jobs() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def compile_many(
+    sources: Sequence,
+    jobs: int = 1,
+    options: CompileOptions | None = None,
+    cache_dir: str | Path | None = None,
+    tracer=None,
+    keep_artifacts: bool = True,
+) -> BatchResult:
+    """Compile every source; never raises on a per-unit compile failure.
+
+    ``sources`` mixes file paths and ``(name, source_text)`` pairs.
+    ``jobs > 1`` fans units out over a process pool; results come back
+    in input order regardless.  With ``keep_artifacts=False`` the
+    (potentially large) :class:`Compilation` objects are dropped in the
+    workers — the CLI's batch summary only needs the outcome records.
+    """
+    options = options or CompileOptions()
+    tracer = ensure(tracer)
+    items = _normalize(sources)
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    jobs = max(1, int(jobs))
+    start = time.perf_counter()
+    with tracer.span("batch", sources=len(items), jobs=jobs) as sp:
+        if jobs == 1 or len(items) <= 1:
+            outcomes = [
+                _compile_unit(
+                    name, text, options, cache_dir, tracer.enabled, keep_artifacts
+                )
+                for name, text in items
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+                futures = [
+                    pool.submit(
+                        _compile_unit,
+                        name,
+                        text,
+                        options,
+                        cache_dir,
+                        tracer.enabled,
+                        keep_artifacts,
+                    )
+                    for name, text in items
+                ]
+                outcomes = [future.result() for future in futures]
+        units = []
+        cache_stats: dict[str, int] = {}
+        for unit, spans in outcomes:
+            units.append(unit)
+            tracer.adopt(spans, parent="batch")
+        if cache_dir is not None:
+            hits = sum(1 for u in units if u.cache == "hit")
+            misses = sum(1 for u in units if u.cache == "miss")
+            cache_stats = {"hits": hits, "misses": misses}
+        seconds = time.perf_counter() - start
+        if sp:
+            sp.add(
+                ok=sum(1 for u in units if u.ok),
+                failed=sum(1 for u in units if not u.ok),
+                cache_hits=cache_stats.get("hits", 0),
+                cache_misses=cache_stats.get("misses", 0),
+            )
+    return BatchResult(
+        units=units, seconds=seconds, jobs=jobs, cache_stats=cache_stats
+    )

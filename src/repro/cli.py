@@ -6,6 +6,13 @@ Usage::
     novac --virtual program.nova    # stop before register allocation
     novac --stats program.nova      # print per-phase statistics
     novac --cps program.nova        # dump the optimized CPS term
+    novac --jobs 4 a.nova b.nova    # batch-compile over a process pool
+    novac --cache-dir .cache *.nova # content-addressed compile cache
+
+With more than one source file ``novac`` switches to batch mode: every
+file is compiled (failures don't stop the rest), a one-line outcome per
+file plus a job summary is printed, and the exit status is 1 iff any
+unit failed.  ``--cache-dir`` also works for single compiles.
 """
 
 from __future__ import annotations
@@ -23,7 +30,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="novac", description="Nova → IXP1200 compiler"
     )
-    parser.add_argument("source", help="Nova source file")
+    parser.add_argument(
+        "sources", nargs="+", metavar="source", help="Nova source file(s)"
+    )
     parser.add_argument(
         "--virtual",
         action="store_true",
@@ -60,6 +69,18 @@ def main(argv: list[str] | None = None) -> int:
         help="hardware threads for --run (default 1)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compile N sources concurrently over a process pool",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed compile cache directory",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="print a per-phase span table (wall time + counters)",
@@ -71,26 +92,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    try:
-        with open(args.source) as handle:
-            source = handle.read()
-    except OSError as exc:
-        print(f"novac: {exc}", file=sys.stderr)
-        return 1
-
-    options = CompileOptions()
-    options.run_allocator = not args.virtual
-    options.alloc.two_phase = args.two_phase
     tracer = (
         Tracer() if (args.trace or args.trace_json is not None) else None
     )
-    try:
-        result = compile_nova(source, args.source, options, tracer=tracer)
-    except NovaError as exc:
-        print(f"novac: {exc}", file=sys.stderr)
-        return 1
-
-    code = _render(result, args, tracer)
+    if len(args.sources) > 1:
+        code = _batch_main(args, tracer)
+    else:
+        code = _single_main(args, tracer)
     if tracer is not None:
         if args.trace:
             print(tracer.table())
@@ -101,6 +109,77 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"novac: {exc}", file=sys.stderr)
                 return 1
     return code
+
+
+def _make_options(args) -> CompileOptions:
+    options = CompileOptions()
+    options.run_allocator = not args.virtual
+    options.alloc.two_phase = args.two_phase
+    return options
+
+
+def _single_main(args, tracer) -> int:
+    source_path = args.sources[0]
+    try:
+        with open(source_path) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"novac: {exc}", file=sys.stderr)
+        return 1
+
+    options = _make_options(args)
+    try:
+        if args.cache_dir is not None:
+            from repro.cache import CompileCache, cached_compile
+
+            cache = CompileCache(args.cache_dir, tracer)
+            result, _ = cached_compile(
+                source, source_path, options, cache, tracer
+            )
+        else:
+            result = compile_nova(source, source_path, options, tracer=tracer)
+    except NovaError as exc:
+        # The spans recorded before the failing phase (parse, typecheck,
+        # ...) still flush — main() renders/writes the tracer on every
+        # exit path — so --trace-json keeps its diagnostic value.
+        print(f"novac: {exc}", file=sys.stderr)
+        return 1
+
+    return _render(result, args, tracer)
+
+
+def _batch_main(args, tracer) -> int:
+    from repro.batch import compile_many
+
+    for flag in ("cps", "run", "listing"):
+        if getattr(args, flag):
+            print(
+                f"novac: --{flag} requires a single source file",
+                file=sys.stderr,
+            )
+            return 2
+    result = compile_many(
+        args.sources,
+        jobs=args.jobs,
+        options=_make_options(args),
+        cache_dir=args.cache_dir,
+        tracer=tracer,
+        keep_artifacts=False,
+    )
+    for unit in result.units:
+        if unit.ok:
+            cache = f", cache {unit.cache}" if unit.cache != "off" else ""
+            print(f"{unit.name}: ok ({unit.seconds:.2f}s{cache})")
+        else:
+            print(f"{unit.name}: error: {unit.error}")
+    summary = result.summary()
+    print(
+        f"batch: {summary['ok']}/{summary['units']} ok in "
+        f"{summary['seconds']:.2f}s (jobs={summary['jobs']}, "
+        f"cache {summary['cache_hits']} hits / "
+        f"{summary['cache_misses']} misses)"
+    )
+    return 0 if not result.failed else 1
 
 
 def _render(result, args, tracer) -> int:
@@ -133,7 +212,7 @@ def _render(result, args, tracer) -> int:
     if args.listing:
         from repro.ixp.listing import render_listing
 
-        print(render_listing(graph, title=args.source), end="")
+        print(render_listing(graph, title=args.sources[0]), end="")
     else:
         print(graph.pretty(), end="")
     return 0

@@ -187,7 +187,7 @@ class Model:
 class Solution:
     """Result of solving a model."""
 
-    status: str  # 'optimal' | 'infeasible' | 'timeout'
+    status: str  # 'optimal' | 'infeasible' | 'timeout' | 'unbounded' | 'failed'
     objective: float
     values: np.ndarray
     root_relaxation_seconds: float

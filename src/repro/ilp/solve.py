@@ -121,6 +121,11 @@ def solve_model(
     return solution
 
 
+#: :func:`scipy.optimize.milp` status codes → :class:`Solution` statuses
+#: (0 optimal and 1 iteration/time limit are handled separately above).
+_MILP_STATUS = {2: "infeasible", 3: "unbounded", 4: "failed"}
+
+
 def _solve_highs(model: Model, options: SolveOptions, tracer) -> Solution:
     c, matrix, lb, ub = model.standard_form()
     # milp does not report the root-relaxation time; measure it with a
@@ -134,15 +139,15 @@ def _solve_highs(model: Model, options: SolveOptions, tracer) -> Solution:
         if len(model.constraints)
         else ()
     )
+    milp_options = {"mip_rel_gap": options.gap}
+    if options.time_limit is not None:
+        milp_options["time_limit"] = options.time_limit
     res = optimize.milp(
         c,
         constraints=constraints,
         integrality=np.ones(model.num_vars),
         bounds=optimize.Bounds(0, 1),
-        options={
-            "time_limit": options.time_limit,
-            "mip_rel_gap": options.gap,
-        },
+        options=milp_options,
     )
     seconds = time.perf_counter() - start
     nodes = int(getattr(res, "mip_node_count", 0) or 0)
@@ -172,8 +177,10 @@ def _solve_highs(model: Model, options: SolveOptions, tracer) -> Solution:
             nodes,
             math.inf,
         )
+    # milp statuses: 2 infeasible, 3 unbounded, 4 numerical failure.
+    status = _MILP_STATUS.get(res.status, "failed")
     return Solution(
-        "infeasible",
+        status,
         math.inf,
         np.zeros(model.num_vars),
         root_seconds,
@@ -243,10 +250,15 @@ def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
         (np.zeros(n), np.ones(n), -math.inf)
     ]
     while stack:
-        if options.time_limit and time.perf_counter() - start > options.time_limit:
+        # ``is not None``: a budget of 0.0 means "stop immediately", not
+        # "run forever" (falsiness would drop the check entirely).
+        if (
+            options.time_limit is not None
+            and time.perf_counter() - start > options.time_limit
+        ):
             status = "timeout"
             break
-        if nodes > options.node_limit:
+        if nodes >= options.node_limit:
             status = "timeout"
             break
         best_bound = min(parent for _, _, parent in stack)

@@ -158,6 +158,34 @@ class Tracer:
     def _exit_span(self, span: Span) -> None:
         self._stack.pop()
 
+    def adopt(self, spans, parent: str | None = None) -> None:
+        """Append spans recorded by another tracer (e.g. a pool worker).
+
+        Batch compilation runs each unit under its own tracer — possibly
+        in a worker process — and merges the recorded spans back into
+        the driver's tracer afterwards.  Top-level foreign spans are
+        re-parented under ``parent`` (matched by name against the most
+        recent span on this tracer) and every span's depth is shifted so
+        the table renders the adopted subtree nested in place.
+        """
+        shift = 0
+        if parent is not None:
+            shift = next(
+                (s.depth + 1 for s in reversed(self.spans) if s.name == parent),
+                0,
+            )
+        for foreign in spans:
+            self.spans.append(
+                Span(
+                    foreign.name,
+                    start=foreign.start,
+                    seconds=foreign.seconds,
+                    parent=foreign.parent if foreign.parent is not None else parent,
+                    depth=foreign.depth + shift,
+                    counters=dict(foreign.counters),
+                )
+            )
+
     # -- lookup --------------------------------------------------------------
 
     def all(self, name: str) -> list[Span]:
@@ -207,6 +235,9 @@ class NullTracer:
 
     def span(self, name: str, **counters: object) -> _NullHandle:
         return _NULL_HANDLE
+
+    def adopt(self, spans, parent: str | None = None) -> None:
+        pass
 
     def all(self, name: str) -> list:
         return []

@@ -1,0 +1,142 @@
+"""Content-addressed compile cache (`repro.cache`) correctness.
+
+The cache key must cover *everything* a compilation depends on — source
+bytes and the full options tree — and unreadable entries must read as
+misses, never as crashes or stale artifacts.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cache import (
+    CACHE_FORMAT,
+    CompileCache,
+    cache_key,
+    cached_compile,
+    options_fingerprint,
+)
+from repro.compiler import CompileOptions, compile_nova
+from repro.ilp.solve import SolveOptions
+from repro.trace import Tracer
+
+SOURCE = """
+layout h = { a : 8, b : 24 };
+fun main (x) {
+  let u = unpack[h](x);
+  u.a + u.b
+}
+"""
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CompileCache(tmp_path / "cache")
+
+
+def test_byte_identical_rerun_hits(cache):
+    options = CompileOptions()
+    first, state1 = cached_compile(SOURCE, options=options, cache=cache)
+    second, state2 = cached_compile(SOURCE, options=options, cache=cache)
+    assert (state1, state2) == ("miss", "hit")
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    # The artifact is the full compilation, not a summary.
+    assert second.flowgraph.num_instructions() == first.flowgraph.num_instructions()
+    assert second.alloc.status == first.alloc.status
+    assert second.physical.pretty() == first.physical.pretty()
+
+
+def test_source_change_misses(cache):
+    options = CompileOptions()
+    cached_compile(SOURCE, options=options, cache=cache)
+    _, state = cached_compile(SOURCE + "\n", options=options, cache=cache)
+    assert state == "miss"
+
+
+def test_different_alloc_options_miss(cache):
+    plain = CompileOptions()
+    cached_compile(SOURCE, options=plain, cache=cache)
+    two_phase = CompileOptions()
+    two_phase.alloc.two_phase = True
+    _, state = cached_compile(SOURCE, options=two_phase, cache=cache)
+    assert state == "miss"
+    assert cache_key(SOURCE, plain) != cache_key(SOURCE, two_phase)
+
+
+def test_different_solve_options_miss(cache):
+    loose = CompileOptions()
+    loose.alloc.solve = SolveOptions(gap=1e-2)
+    tight = CompileOptions()
+    tight.alloc.solve = SolveOptions(gap=1e-6)
+    cached_compile(SOURCE, options=loose, cache=cache)
+    _, state = cached_compile(SOURCE, options=tight, cache=cache)
+    assert state == "miss"
+    assert options_fingerprint(loose) != options_fingerprint(tight)
+
+
+def test_fingerprint_is_deterministic():
+    assert options_fingerprint(CompileOptions()) == options_fingerprint(
+        CompileOptions()
+    )
+    assert cache_key(SOURCE, CompileOptions()) == cache_key(
+        SOURCE, CompileOptions()
+    )
+
+
+def test_corrupt_entry_is_a_miss_not_a_crash(cache):
+    options = CompileOptions()
+    cached_compile(SOURCE, options=options, cache=cache)
+    path = cache.path_for(cache_key(SOURCE, options))
+    path.write_bytes(b"not a pickle at all")
+    result = cache.get(SOURCE, options)
+    assert result is None
+    assert cache.stats.invalidations == 1
+    assert not path.exists()  # corrupt entry deleted
+    # The next compile repopulates it.
+    _, state = cached_compile(SOURCE, options=options, cache=cache)
+    assert state == "miss"
+    assert cache.get(SOURCE, options) is not None
+
+
+def test_truncated_entry_is_a_miss(cache):
+    options = CompileOptions()
+    cached_compile(SOURCE, options=options, cache=cache)
+    path = cache.path_for(cache_key(SOURCE, options))
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    assert cache.get(SOURCE, options) is None
+    assert cache.stats.invalidations == 1
+
+
+def test_wrong_format_version_is_a_miss(cache):
+    options = CompileOptions()
+    comp = compile_nova(SOURCE, options=options)
+    key = cache_key(SOURCE, options)
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {"format": CACHE_FORMAT + 1, "key": key, "compilation": comp}
+    path.write_bytes(pickle.dumps(entry))
+    assert cache.get(SOURCE, options) is None
+    assert cache.stats.invalidations == 1
+
+
+def test_cached_artifact_never_embeds_a_tracer(tmp_path):
+    tracer = Tracer()
+    cache = CompileCache(tmp_path / "cache", tracer)
+    compiled, _ = cached_compile(SOURCE, options=None, cache=cache, tracer=tracer)
+    assert compiled.trace is tracer  # the live compile keeps its tracer
+    hit = cache.get(SOURCE, None)
+    assert hit.trace is None  # ...but the stored artifact does not
+    assert hit.alloc.model is None  # nor the multi-MB raw ILP model
+    assert hit.alloc.variables > 0  # the summary ints survive
+
+
+def test_lookup_and_store_record_spans(tmp_path):
+    tracer = Tracer()
+    cache = CompileCache(tmp_path / "cache", tracer)
+    cached_compile(SOURCE, options=None, cache=cache, tracer=tracer)
+    cached_compile(SOURCE, options=None, cache=cache, tracer=tracer)
+    lookups = tracer.all("cache.lookup")
+    assert [s.counters["outcome"] for s in lookups] == ["miss", "hit"]
+    stores = tracer.all("cache.store")
+    assert len(stores) == 1 and stores[0].counters["bytes"] > 0

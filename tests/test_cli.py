@@ -131,3 +131,99 @@ def test_run_flag_virtual(program, capsys):
 def test_run_flag_bad_inputs(program, capsys):
     assert main(["--run", "nope=1", program]) == 1
     assert "bad --run inputs" in capsys.readouterr().err
+
+
+def test_trace_json_flushes_on_failed_compile(tmp_path, capsys):
+    """A NovaError mid-pipeline must not lose the spans already recorded."""
+    import json
+
+    path = tmp_path / "bad.nova"
+    path.write_text("fun main (x) { y }")  # typechecker rejects
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["--trace-json", str(trace_path), str(path)]) == 1
+    assert "unbound" in capsys.readouterr().err
+    records = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    names = [r["name"] for r in records]
+    assert "parse" in names  # the phases before the failure survived
+    assert "typecheck" in names
+    assert "allocate" not in names  # ...and nothing after it was invented
+
+
+def test_trace_table_on_failed_compile(tmp_path, capsys):
+    path = tmp_path / "bad.nova"
+    path.write_text("fun main (x) { y }")
+    assert main(["--trace", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "unbound" in captured.err
+    assert "parse" in captured.out  # span table still printed
+
+
+SECOND_SOURCE = """
+fun main (x, y) {
+  x * 3 + y
+}
+"""
+
+
+@pytest.fixture
+def programs(tmp_path):
+    first = tmp_path / "first.nova"
+    first.write_text(SOURCE)
+    second = tmp_path / "second.nova"
+    second.write_text(SECOND_SOURCE)
+    return [str(first), str(second)]
+
+
+def test_batch_mode(programs, capsys):
+    assert main(["--jobs", "2"] + programs) == 0
+    out = capsys.readouterr().out
+    assert "first.nova: ok" in out
+    assert "second.nova: ok" in out
+    assert "batch: 2/2 ok" in out
+
+
+def test_batch_mode_reports_failures(programs, tmp_path, capsys):
+    bad = tmp_path / "bad.nova"
+    bad.write_text("fun main (x) { y }")
+    assert main(programs + [str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.nova: error:" in out
+    assert "unbound" in out
+    assert "batch: 2/3 ok" in out
+
+
+def test_batch_cache_cold_then_warm(programs, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["--cache-dir", cache_dir] + programs) == 0
+    cold = capsys.readouterr().out
+    assert "cache miss" in cold and "cache 0 hits / 2 misses" in cold
+    assert main(["--cache-dir", cache_dir] + programs) == 0
+    warm = capsys.readouterr().out
+    assert "cache hit" in warm and "cache 2 hits / 0 misses" in warm
+
+
+def test_single_file_cache_dir(program, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["--cache-dir", cache_dir, program]) == 0
+    first = capsys.readouterr().out
+    assert main(["--cache-dir", cache_dir, program]) == 0
+    second = capsys.readouterr().out
+    assert first == second  # the cached artifact renders identically
+    assert "A0" in second or "B0" in second
+
+
+def test_batch_rejects_single_source_modes(programs, capsys):
+    assert main(["--run", "x=1"] + programs) == 2
+    assert "--run requires a single source" in capsys.readouterr().err
+
+
+def test_batch_trace_json(programs, tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["--trace-json", str(trace_path), "--jobs", "2"] + programs) == 0
+    records = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    names = [r["name"] for r in records]
+    assert "batch" in names
+    assert names.count("unit") == 2
+    assert names.count("parse") == 2  # worker spans adopted into the trace

@@ -122,6 +122,65 @@ class TestParity:
         assert sol.status in ("timeout", "optimal")
 
 
+class TestStatusMapping:
+    """Non-0/1 milp statuses must map to distinct, honest labels.
+
+    0-1 models with Bounds(0, 1) can't genuinely go unbounded, so the
+    mislabeled statuses (the seed reported *everything* non-0/non-1 as
+    "infeasible") are pinned by substituting milp's result object.
+    """
+
+    @pytest.mark.parametrize(
+        "milp_status,expected",
+        [(2, "infeasible"), (3, "unbounded"), (4, "failed"), (99, "failed")],
+    )
+    def test_milp_status_mapping(self, monkeypatch, milp_status, expected):
+        from repro.ilp import solve as solve_mod
+
+        class FakeResult:
+            status = milp_status
+            x = None
+            fun = None
+            mip_node_count = 0
+            mip_gap = None
+
+        monkeypatch.setattr(
+            solve_mod.optimize, "milp", lambda *a, **kw: FakeResult()
+        )
+        sol = solve_model(
+            FEASIBLE_MODELS["knapsack"](), SolveOptions(engine="highs")
+        )
+        assert sol.status == expected
+
+
+class TestLimitSemantics:
+    def test_bnb_zero_time_limit_is_an_immediate_timeout(self):
+        # time_limit=0.0 is an exhausted budget, not "no limit" (the
+        # seed's falsiness check dropped the guard entirely).
+        sol = solve_model(
+            hard_knapsack(0),
+            SolveOptions(engine="bnb", time_limit=0.0, gap=1e-9),
+        )
+        assert sol.status == "timeout"
+        assert sol.nodes == 0
+
+    def test_bnb_node_limit_is_inclusive(self):
+        # The search must not explore a node beyond the limit.
+        for limit in (1, 3, 5):
+            sol = solve_model(
+                hard_knapsack(0),
+                SolveOptions(engine="bnb", node_limit=limit, gap=1e-9),
+            )
+            assert sol.nodes <= limit, (limit, sol.nodes)
+
+    def test_bnb_none_time_limit_means_no_limit(self):
+        sol = solve_model(
+            FEASIBLE_MODELS["knapsack"](),
+            SolveOptions(engine="bnb", time_limit=None, gap=1e-9),
+        )
+        assert sol.status == "optimal"
+
+
 class TestGapTermination:
     @pytest.mark.parametrize("seed", [0, 2, 5])
     def test_loose_gap_visits_fewer_nodes(self, seed):
