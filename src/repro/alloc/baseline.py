@@ -153,6 +153,43 @@ def _color_gprs(graph: FlowGraph):
         if temp not in xfer:
             neighbors.setdefault(temp, set())
 
+    # A definition writes its register even when the result is dead (a
+    # drained-but-unused memory word, for instance), so the destination
+    # interferes with everything live across the instruction — liveness
+    # sets alone would give a dead destination an empty range and let
+    # the coloring overlap it with a live value it then clobbers.
+    for label, block in graph.blocks.items():
+        live = set(info.live_exit[label])
+        for instr in reversed(block.instrs):
+            defs = {r.name for r in instr.defs() if isinstance(r, isa.Temp)}
+            uses = {r.name for r in instr.uses() if isinstance(r, isa.Temp)}
+            for dst in defs:
+                if dst in xfer:
+                    continue
+                for w in live:
+                    if w == dst or w in xfer:
+                        continue
+                    neighbors.setdefault(dst, set()).add(w)
+                    neighbors.setdefault(w, set()).add(dst)
+            live = (live - defs) | uses
+
+    # Every input occupies a register at program entry — including ones
+    # the program never reads, whose live range is otherwise empty.  They
+    # interfere pairwise and with everything live into the entry block;
+    # without these edges the coloring can overlap a dead input with a
+    # live one, and whoever preloads the input registers clobbers it.
+    entry_live = set(info.live_entry.get(graph.entry, set()))
+    gpr_inputs = [v for v in graph.inputs if v not in xfer]
+    for v in gpr_inputs:
+        others = {
+            w
+            for w in (set(gpr_inputs) | entry_live)
+            if w != v and w not in xfer
+        }
+        neighbors.setdefault(v, set()).update(others)
+        for w in others:
+            neighbors.setdefault(w, set()).add(v)
+
     diff_bank: dict[str, set[str]] = {}
     for _, _, instr in graph.instructions():
         operands = [

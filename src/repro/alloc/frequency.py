@@ -146,6 +146,13 @@ def branch_probabilities(graph: FlowGraph) -> dict[tuple[str, str], float]:
                 probs[(label, succ)] = 1.0
             continue
         then_t, else_t = succs
+        if then_t == else_t:
+            # Degenerate conditional: both arms reach the same block, so
+            # the edge is taken with certainty (writing p and 1-p into
+            # one dict slot would otherwise lose half the flow — or,
+            # with the duplicate predecessor, double it).
+            probs[(label, then_t)] = 1.0
+            continue
         # Collect heuristic evidence for "then edge taken".
         estimates: list[float] = []
         then_back = (label, then_t) in back or stays_in_loop(label, then_t)
@@ -175,7 +182,9 @@ def block_frequencies(graph: FlowGraph) -> dict[str, float]:
     order = graph.block_order()
     preds: dict[str, list[str]] = {label: [] for label in graph.blocks}
     for label, block in graph.blocks.items():
-        for succ in block.successors():
+        # Dedupe: a conditional with both arms on one block contributes
+        # a single edge (whose probability already sums the arms).
+        for succ in set(block.successors()):
             preds[succ].append(label)
     freq = {label: 0.0 for label in graph.blocks}
     freq[graph.entry] = 1.0

@@ -170,6 +170,25 @@ def default_jobs() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def scatter(worker, arg_tuples: Sequence[tuple], jobs: int = 1) -> list:
+    """Run ``worker(*args)`` for every tuple; results in input order.
+
+    The generic fan-out underneath :func:`compile_many`, also reused by
+    the fuzz campaign driver (:mod:`repro.fuzz.driver`).  ``jobs == 1``
+    (or a single item) stays in-process; otherwise the work is spread
+    over a :class:`ProcessPoolExecutor`, so ``worker`` must be a
+    module-level function and the argument tuples picklable.  Workers
+    are expected to catch their own exceptions and return structured
+    error records — a raise here propagates and kills the whole job.
+    """
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(arg_tuples) <= 1:
+        return [worker(*args) for args in arg_tuples]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(arg_tuples))) as pool:
+        futures = [pool.submit(worker, *args) for args in arg_tuples]
+        return [future.result() for future in futures]
+
+
 def compile_many(
     sources: Sequence,
     jobs: int = 1,
@@ -193,28 +212,14 @@ def compile_many(
     jobs = max(1, int(jobs))
     start = time.perf_counter()
     with tracer.span("batch", sources=len(items), jobs=jobs) as sp:
-        if jobs == 1 or len(items) <= 1:
-            outcomes = [
-                _compile_unit(
-                    name, text, options, cache_dir, tracer.enabled, keep_artifacts
-                )
+        outcomes = scatter(
+            _compile_unit,
+            [
+                (name, text, options, cache_dir, tracer.enabled, keep_artifacts)
                 for name, text in items
-            ]
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-                futures = [
-                    pool.submit(
-                        _compile_unit,
-                        name,
-                        text,
-                        options,
-                        cache_dir,
-                        tracer.enabled,
-                        keep_artifacts,
-                    )
-                    for name, text in items
-                ]
-                outcomes = [future.result() for future in futures]
+            ],
+            jobs,
+        )
         units = []
         cache_stats: dict[str, int] = {}
         for unit, spans in outcomes:

@@ -8,6 +8,7 @@ Usage::
     novac --cps program.nova        # dump the optimized CPS term
     novac --jobs 4 a.nova b.nova    # batch-compile over a process pool
     novac --cache-dir .cache *.nova # content-addressed compile cache
+    novac fuzz --seed 0 --count 200 # differential fuzzing campaign
 
 With more than one source file ``novac`` switches to batch mode: every
 file is compiled (failures don't stop the rest), a one-line outcome per
@@ -27,6 +28,12 @@ from repro.trace import Tracer
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.driver import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="novac", description="Nova → IXP1200 compiler"
     )

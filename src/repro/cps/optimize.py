@@ -462,6 +462,33 @@ def _prune_params(term: ir.Term, stats: OptStats) -> ir.Term:
                 flags.append(True)
         keep[name] = flags
 
+    # Resolve substitution chains (x -> y -> z) before applying:
+    # ir.substitute is one simultaneous pass, so an unresolved chain
+    # would rewrite uses of x into a parameter y that this very pass is
+    # deleting.  A chain that loops back on itself means the parameters
+    # only forward each other; keep those instead of substituting.
+    param_slot = {
+        param: (name, index)
+        for name, let in defs.items()
+        for index, param in enumerate(let.params)
+    }
+    for param in list(substitution):
+        atom: ir.Atom | None = substitution[param]
+        seen = {param}
+        while isinstance(atom, Var) and atom.name in substitution:
+            if atom.name in seen:
+                atom = None
+                break
+            seen.add(atom.name)
+            atom = substitution[atom.name]
+        if atom is None or atom == Var(param):
+            del substitution[param]
+            name, index = param_slot[param]
+            keep[name][index] = True
+            stats.params_pruned -= 1
+        else:
+            substitution[param] = atom
+
     if all(all(f) for f in keep.values()) and not substitution:
         return term
 

@@ -1,0 +1,45 @@
+"""``repro.fuzz`` — differential fuzzing for the Nova → IXP1200 pipeline.
+
+The paper's claim is that CPS optimization, SSU cloning and ILP register
+allocation preserve program behaviour.  This package earns that claim
+statistically instead of anecdotally:
+
+- :mod:`repro.fuzz.gen` — a seeded, typed random Nova program generator
+  (records, tuples, layouts with overlays, ``try``/``handle``/``raise``,
+  tail calls, memory traffic) whose output is well-typed by construction;
+- :mod:`repro.fuzz.oracle` — compiles each program under a matrix of
+  configurations (optimizer on/off, SSU on/off, allocator highs / bnb /
+  baseline) and demands bit-identical simulator results, memory images
+  and solution-replay verdicts;
+- :mod:`repro.fuzz.shrink` — a delta-debugging minimizer that reduces a
+  mismatching program to a small reproducer;
+- :mod:`repro.fuzz.driver` — the campaign runner behind ``novac fuzz``
+  (parallel fan-out through :func:`repro.batch.scatter`, crash-artifact
+  directories, per-config trace spans);
+- :mod:`repro.fuzz.inject` — deliberate miscompilation hooks used to
+  prove the oracle and shrinker actually work.
+"""
+
+from repro.fuzz.gen import GenConfig, GenProgram, generate
+from repro.fuzz.oracle import (
+    Divergence,
+    FuzzConfig,
+    OracleReport,
+    check_generated,
+    check_program,
+    default_configs,
+)
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "Divergence",
+    "FuzzConfig",
+    "GenConfig",
+    "GenProgram",
+    "OracleReport",
+    "check_generated",
+    "check_program",
+    "default_configs",
+    "generate",
+    "shrink",
+]

@@ -1,0 +1,578 @@
+"""Seeded, typed random Nova program generator.
+
+Programs are well-typed *by construction*: the generator only writes
+word-valued expressions over in-scope word atoms, only raises inside a
+``try`` whose handler catches the exception, keeps every loop bounded by
+a small constant, restricts ``*``/``/``/``%`` to the constant forms
+instruction selection can expand (shift-add, power-of-two shift/mask),
+and keeps memory addresses inside preloaded in-range regions (SDRAM
+accesses stay 8-byte aligned).
+
+The same seed and :class:`GenConfig` always produce the same
+:class:`GenProgram` — source text, input vectors and memory image — so
+any fuzz finding is reproducible from its seed alone.
+
+Feature knobs (``GenConfig.features``) gate each construct so a campaign
+can target one subsystem (e.g. layouts only) or shrink the surface while
+chasing a bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+MASK = 0xFFFFFFFF
+
+#: Every construct the generator knows how to emit.
+ALL_FEATURES = frozenset(
+    {
+        "loops",
+        "ifstmt",
+        "memory",
+        "layouts",
+        "overlays",
+        "pack",
+        "records",
+        "tuples",
+        "tryraise",
+        "calls",
+        "tailcalls",
+        "exnparams",
+        "hash",
+        "csr",
+        "tuple_result",
+    }
+)
+
+#: Values worth feeding into 32-bit datapaths.
+_SPECIAL_WORDS = (0, 1, 2, 0xFFFFFFFF, 0x80000000, 0x7FFFFFFF, 0xFFFF, 0x100)
+
+#: Constant multipliers selection can expand (popcount <= 4).
+_MUL_CONSTANTS = (2, 3, 4, 5, 6, 8, 9, 10, 12, 16)
+
+#: Power-of-two divisors/moduli (shift/mask expansion).
+_POW2_CONSTANTS = (2, 4, 8, 16, 32)
+
+_CMPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size and feature knobs for one generated program."""
+
+    max_stmts: int = 7
+    max_depth: int = 3
+    max_funs: int = 2
+    max_params: int = 3
+    n_vectors: int = 2
+    features: frozenset = ALL_FEATURES
+
+
+@dataclass
+class GenProgram:
+    """A generated program plus everything needed to run it."""
+
+    seed: int
+    source: str
+    params: tuple[str, ...]
+    #: input vectors, each mapping source parameter name -> word value
+    vectors: tuple[dict, ...]
+    #: space -> [(addr, words)] preload chunks
+    memory_image: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Layout:
+    name: str
+    total_bits: int
+    #: projection paths that read a word-sized-or-smaller field,
+    #: e.g. "f1", "f2.whole", "f2.parts.hi"
+    paths: list
+    #: (field name, mask, overlay alternative or None) for pack literals
+    pack_fields: list
+
+
+@dataclass
+class _Helper:
+    name: str
+    kind: str  # 'expr' | 'tail' | 'exn'
+    arity: int
+
+
+class _Gen:
+    def __init__(self, seed: int, cfg: GenConfig):
+        self.rng = random.Random(seed)
+        self.cfg = cfg
+        self.counter = 0
+        #: word-valued atoms readable right now (names and projections)
+        self.words: list[str] = []
+        #: let-bound word variables that := may target
+        self.mutable: list[str] = []
+        self.layouts: list[_Layout] = []
+        self.helpers: list[_Helper] = []
+        self.memory_image: dict[str, list[tuple[int, list[int]]]] = {}
+        self._cursor = {"sram": 8, "sdram": 64, "scratch": 8}
+        self._read_regions: dict[str, list[tuple[int, int]]] = {}
+
+    def has(self, feature: str) -> bool:
+        return feature in self.cfg.features
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def pick_word(self) -> str:
+        return self.rng.choice(self.words)
+
+    # -- expressions -------------------------------------------------------
+
+    def literal(self) -> str:
+        if self.rng.random() < 0.5:
+            return str(self.rng.choice(_SPECIAL_WORDS))
+        if self.rng.random() < 0.5:
+            return str(self.rng.randrange(0, 64))
+        return hex(self.rng.randrange(0, 1 << 32))
+
+    def expr(self, depth: int | None = None) -> str:
+        """A word-typed expression over the current scope."""
+        if depth is None:
+            depth = self.cfg.max_depth
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.2:
+            if self.words and rng.random() < 0.65:
+                return self.pick_word()
+            return self.literal()
+        kind = rng.choice(
+            ["bin", "bin", "bin", "shift", "muldiv", "unary", "ifexpr", "hash"]
+        )
+        if kind == "bin":
+            op = rng.choice(["+", "-", "&", "|", "^"])
+            return f"({self.expr(depth - 1)} {op} {self.expr(depth - 1)})"
+        if kind == "shift":
+            op = rng.choice(["<<", ">>"])
+            if rng.random() < 0.7:
+                amount = str(rng.randrange(0, 32))
+            else:
+                # variable shift amounts exercise the non-immediate path
+                amount = f"({self.expr(0)} & 31)"
+            return f"({self.expr(depth - 1)} {op} {amount})"
+        if kind == "muldiv":
+            op = rng.choice(["*", "/", "%"])
+            if op == "*":
+                constant = rng.choice(_MUL_CONSTANTS)
+                # A literal on the left would commute into "mul by
+                # <literal>" during selection (select.py puts the
+                # constant on the right), so keep the left a variable.
+                left = (
+                    self.pick_word()
+                    if self.words
+                    else str(rng.choice(_MUL_CONSTANTS))
+                )
+                return f"({left} {op} {constant})"
+            constant = rng.choice(_POW2_CONSTANTS)
+            return f"({self.expr(depth - 1)} {op} {constant})"
+        if kind == "unary":
+            op = rng.choice(["~", "-"])
+            return f"({op}{self.expr(depth - 1)})"
+        if kind == "hash" and self.has("hash"):
+            return f"hash({self.expr(depth - 1)})"
+        return (
+            f"(if ({self.cond(depth - 1)}) {self.expr(depth - 1)} "
+            f"else {self.expr(depth - 1)})"
+        )
+
+    def cond(self, depth: int = 1) -> str:
+        rng = self.rng
+        if depth > 0 and rng.random() < 0.3:
+            connective = rng.choice(["&&", "||"])
+            return (
+                f"({self.cond(depth - 1)}) {connective} "
+                f"({self.cond(depth - 1)})"
+            )
+        if depth > 0 and rng.random() < 0.15:
+            return f"!({self.cond(depth - 1)})"
+        cmp = rng.choice(_CMPS)
+        return f"{self.expr(1)} {cmp} {self.expr(1)}"
+
+    # -- memory regions ----------------------------------------------------
+
+    def _region(self, space: str, count: int, preload: bool) -> int:
+        """Reserve an in-range address window; maybe preload it."""
+        # Leave 8 words of headroom for masked variable offsets.
+        window = count + 8
+        addr = self._cursor[space]
+        if addr + window > 240:
+            regions = self._read_regions.get(space)
+            if regions:
+                addr, _ = self.rng.choice(regions)
+                return addr
+            addr = 8 if space != "sdram" else 64
+        self._cursor[space] = addr + window + (window % 2)
+        if preload:
+            words = [self.rng.randrange(0, 1 << 32) for _ in range(window)]
+            self.memory_image.setdefault(space, []).append((addr, words))
+            self._read_regions.setdefault(space, []).append((addr, count))
+        return addr
+
+    def _addr_expr(self, space: str, addr: int) -> str:
+        """Literal address, sometimes perturbed by a masked variable."""
+        if self.words and self.rng.random() < 0.35:
+            # sdram needs 8-byte (even-word) alignment: keep offsets even
+            mask = "6" if space == "sdram" else "7"
+            return f"({addr} + ({self.pick_word()} & {mask}))"
+        return str(addr)
+
+    # -- statements --------------------------------------------------------
+
+    def stmt_let(self, out: list) -> None:
+        name = self.fresh("v")
+        out.append(f"let {name} = {self.expr()};")
+        self.words.append(name)
+        self.mutable.append(name)
+
+    def stmt_assign(self, out: list) -> None:
+        if not self.mutable:
+            return self.stmt_let(out)
+        out.append(f"{self.rng.choice(self.mutable)} := {self.expr()};")
+
+    def stmt_if(self, out: list) -> None:
+        if not self.mutable:
+            return self.stmt_let(out)
+        target = self.rng.choice(self.mutable)
+        then = f"{{ {target} := {self.expr(1)}; }}"
+        if self.rng.random() < 0.5:
+            other = self.rng.choice(self.mutable)
+            out.append(
+                f"if ({self.cond()}) {then} "
+                f"else {{ {other} := {self.expr(1)}; }};"
+            )
+        else:
+            out.append(f"if ({self.cond()}) {then};")
+
+    def stmt_loop(self, out: list) -> None:
+        accum = self.fresh("acc")
+        out.append(f"let {accum} = {self.expr(1)};")
+        self.words.append(accum)
+        self.mutable.append(accum)
+        i = self.fresh("i")
+        bound = self.rng.randrange(0, 7)
+        out.append(f"let {i} = 0;")
+        out.append(f"while ({i} < {bound}) {{")
+        self.words.append(i)
+        body_stmts = self.rng.randrange(1, 3)
+        for _ in range(body_stmts):
+            kind = self.rng.random()
+            if kind < 0.6 or not self.has("memory"):
+                target = self.rng.choice(self.mutable)
+                out.append(f"  {target} := {self.expr(2)};")
+            else:
+                self.stmt_mem_write(out, indent="  ")
+        out.append(f"  {i} := {i} + 1;")
+        out.append("};")
+        # the counter's final value stays readable after the loop
+
+    def stmt_mem_read(self, out: list) -> None:
+        space = self.rng.choice(["sram", "sdram", "scratch"])
+        count = {
+            "sram": self.rng.randrange(1, 5),
+            "sdram": 2,
+            "scratch": self.rng.randrange(1, 3),
+        }[space]
+        if space == "sdram":
+            count = 2
+        addr = self._region(space, count, preload=True)
+        names = [self.fresh("m") for _ in range(count)]
+        if count == 1:
+            out.append(f"let {names[0]} = {space}({self._addr_expr(space, addr)});")
+        else:
+            pattern = ", ".join(names)
+            out.append(
+                f"let ({pattern}) = {space}({self._addr_expr(space, addr)});"
+            )
+        self.words.extend(names)
+
+    def stmt_mem_write(self, out: list, indent: str = "") -> None:
+        space = self.rng.choice(["sram", "sdram", "scratch"])
+        count = {"sram": self.rng.randrange(1, 4), "sdram": 2, "scratch": 1}[
+            space
+        ]
+        reuse = self._read_regions.get(space)
+        if reuse and self.rng.random() < 0.4:
+            addr = self.rng.choice(reuse)[0]
+        else:
+            addr = self._region(space, count, preload=False)
+        values = ", ".join(self.expr(1) for _ in range(count))
+        if count > 1:
+            values = f"({values})"
+        out.append(
+            f"{indent}{space}({self._addr_expr(space, addr)}) <- {values};"
+        )
+
+    def stmt_tuple(self, out: list) -> None:
+        names = [self.fresh("t") for _ in range(self.rng.randrange(2, 4))]
+        values = ", ".join(self.expr(1) for _ in names)
+        out.append(f"let ({', '.join(names)}) = ({values});")
+        self.words.extend(names)
+
+    def stmt_record(self, out: list) -> None:
+        name = self.fresh("r")
+        out.append(
+            f"let {name} = [a = {self.expr(1)}, "
+            f"b = [c = {self.expr(1)}, d = {self.expr(1)}]];"
+        )
+        self.words.extend([f"{name}.a", f"{name}.b.c", f"{name}.b.d"])
+        if self.rng.random() < 0.5:
+            pa, pc = self.fresh("p"), self.fresh("p")
+            out.append(f"let [a = {pa}, b = [c = {pc}, d = _]] = {name};")
+            self.words.extend([pa, pc])
+
+    def stmt_try(self, out: list) -> None:
+        name = self.fresh("e")
+        exn = self.fresh("E")
+        caught = self.fresh("z")
+        out.append(
+            f"let {name} = try {{ "
+            f"if ({self.cond()}) raise {exn} ({self.expr(1)}) "
+            f"else {self.expr(1)} "
+            f"}} handle {exn} ({caught}) {{ {caught} ^ {self.expr(1)} }};"
+        )
+        self.words.append(name)
+
+    def stmt_unpack(self, out: list) -> None:
+        layout = self.rng.choice(self.layouts)
+        words = (layout.total_bits + 31) // 32
+        pad = words * 32 - layout.total_bits
+        name = self.fresh("u")
+        layout_expr = layout.name if pad == 0 else f"{layout.name} ## {{{pad}}}"
+        args = ", ".join(self.expr(1) for _ in range(words))
+        if words > 1:
+            args = f"({args})"
+        out.append(f"let {name} = unpack[{layout_expr}]({args});")
+        self.words.extend(f"{name}.{path}" for path in layout.paths)
+
+    def stmt_pack(self, out: list) -> None:
+        candidates = [l for l in self.layouts if l.total_bits == 32]
+        if not candidates:
+            return self.stmt_let(out)
+        layout = self.rng.choice(candidates)
+        name = self.fresh("k")
+        parts = []
+        for fname, mask, overlay in layout.pack_fields:
+            value = f"({self.expr(1)}) & {mask:#x}"
+            if overlay is not None:
+                value = f"[{overlay} = {value}]"
+            parts.append(f"{fname} = {value}")
+        out.append(f"let {name} = pack[{layout.name}] [{', '.join(parts)}];")
+        self.words.append(name)
+
+    def stmt_call(self, out: list) -> None:
+        if not self.helpers:
+            return self.stmt_let(out)
+        helper = self.rng.choice(self.helpers)
+        name = self.fresh("c")
+        if helper.kind == "exn":
+            exn = self.fresh("E")
+            caught = self.fresh("z")
+            out.append(
+                f"let {name} = try {{ "
+                f"{helper.name}[err = {exn}, v = {self.expr(1)}] "
+                f"}} handle {exn} ({caught}) {{ {caught} + 1 }};"
+            )
+        elif helper.kind == "tail":
+            # first argument bounds the recursion depth: keep it small
+            out.append(
+                f"let {name} = {helper.name}"
+                f"(({self.expr(1)}) & 7, {self.expr(1)});"
+            )
+        else:
+            args = ", ".join(self.expr(1) for _ in range(helper.arity))
+            out.append(f"let {name} = {helper.name}({args});")
+        self.words.append(name)
+
+    def stmt_csr(self, out: list) -> None:
+        number = self.rng.randrange(0, 8)
+        name = self.fresh("s")
+        out.append(f"csr({number}) <- {self.expr(1)};")
+        out.append(f"let {name} = csr({number});")
+        self.words.append(name)
+
+    # -- declarations ------------------------------------------------------
+
+    def gen_layout(self) -> None:
+        total = self.rng.choice([32, 32, 64])
+        name = self.fresh("L")
+        remaining = total
+        items: list[str] = []
+        paths: list[str] = []
+        pack_fields: list[tuple[str, int, str | None]] = []
+        while remaining > 0:
+            fname = self.fresh("f")
+            if remaining <= 4 or len(items) >= 4:
+                width = min(remaining, 32)  # bitfields cap at 32
+            else:
+                width = self.rng.choice(
+                    [w for w in (4, 8, 12, 16, 24) if w < remaining]
+                    or [remaining]
+                )
+            use_overlay = (
+                self.has("overlays") and width >= 8 and self.rng.random() < 0.3
+            )
+            if use_overlay:
+                hi = width // 2
+                lo = width - hi
+                items.append(
+                    f"{fname} : overlay {{ whole : {width} | "
+                    f"parts : {{ hi : {hi}, lo : {lo} }} }}"
+                )
+                paths.extend(
+                    [f"{fname}.whole", f"{fname}.parts.hi", f"{fname}.parts.lo"]
+                )
+                pack_fields.append(
+                    (fname, (1 << width) - 1 if width < 32 else MASK, "whole")
+                )
+            else:
+                items.append(f"{fname} : {width}")
+                if width <= 32:
+                    paths.append(fname)
+                pack_fields.append(
+                    (fname, (1 << width) - 1 if width < 32 else MASK, None)
+                )
+            remaining -= width
+        self.layouts.append(_Layout(name, total, paths, pack_fields))
+        self.decls.append(f"layout {name} = {{ {', '.join(items)} }};")
+
+    def gen_helper(self) -> None:
+        kinds = ["expr"]
+        if self.has("tailcalls"):
+            kinds.append("tail")
+        if self.has("exnparams") and self.has("tryraise"):
+            kinds.append("exn")
+        kind = self.rng.choice(kinds)
+        name = self.fresh("fn")
+        saved_words = self.words
+        if kind == "expr":
+            self.words = ["a", "b"]
+            body = self.expr(2)
+            self.decls.append(f"fun {name} (a, b) : word {{ {body} }}")
+            self.helpers.append(_Helper(name, "expr", 2))
+        elif kind == "tail":
+            self.words = ["i", "acc"]
+            step = self.expr(1)
+            self.decls.append(
+                f"fun {name} (i, acc) : word {{ "
+                f"if (i == 0) acc else {name}(i - 1, acc ^ ({step})) }}"
+            )
+            self.helpers.append(_Helper(name, "tail", 2))
+        else:
+            self.words = ["v"]
+            raised = self.expr(1)
+            fallback = self.expr(1)
+            self.decls.append(
+                f"fun {name} [err : exn(word), v : word] : word {{ "
+                f"if ({self.cond(0)}) raise err ({raised}) "
+                f"else {fallback} }}"
+            )
+            self.helpers.append(_Helper(name, "exn", 1))
+        self.words = saved_words
+
+    # -- whole programs ----------------------------------------------------
+
+    _STMT_WEIGHTS = [
+        ("let", 4, None),
+        ("assign", 2, None),
+        ("ifstmt", 2, "ifstmt"),
+        ("loop", 2, "loops"),
+        ("mem_read", 3, "memory"),
+        ("mem_write", 2, "memory"),
+        ("tuple", 1, "tuples"),
+        ("record", 1, "records"),
+        ("tryraise", 2, "tryraise"),
+        ("unpack", 2, "layouts"),
+        ("pack", 1, "pack"),
+        ("call", 2, "calls"),
+        ("csr", 1, "csr"),
+    ]
+
+    def generate(self, seed: int) -> GenProgram:
+        self.decls: list[str] = []
+        rng = self.rng
+        if self.has("layouts"):
+            for _ in range(rng.randrange(0, 3)):
+                self.gen_layout()
+        if self.has("calls"):
+            for _ in range(rng.randrange(0, self.cfg.max_funs + 1)):
+                self.gen_helper()
+
+        params = tuple(
+            f"x{i}" for i in range(rng.randrange(1, self.cfg.max_params + 1))
+        )
+        self.words = list(params)
+
+        body: list[str] = []
+        dispatch = {
+            "let": self.stmt_let,
+            "assign": self.stmt_assign,
+            "ifstmt": self.stmt_if,
+            "loop": self.stmt_loop,
+            "mem_read": self.stmt_mem_read,
+            "mem_write": self.stmt_mem_write,
+            "tuple": self.stmt_tuple,
+            "record": self.stmt_record,
+            "tryraise": self.stmt_try,
+            "unpack": lambda out: (
+                self.stmt_unpack(out) if self.layouts else self.stmt_let(out)
+            ),
+            "pack": self.stmt_pack,
+            "call": self.stmt_call,
+            "csr": self.stmt_csr,
+        }
+        names = [
+            name
+            for name, weight, feature in self._STMT_WEIGHTS
+            if feature is None or self.has(feature)
+            for _ in range(weight)
+        ]
+        for _ in range(rng.randrange(1, self.cfg.max_stmts + 1)):
+            dispatch[rng.choice(names)](body)
+
+        # Fold several live values into the result so the differential
+        # comparison observes more than one dataflow path.
+        atoms = [
+            self.pick_word()
+            for _ in range(min(len(self.words), rng.randrange(2, 5)))
+        ]
+        result = " ^ ".join(atoms) if atoms else self.expr(1)
+        if self.has("tuple_result") and rng.random() < 0.2:
+            result = f"({result}, {self.expr(1)})"
+
+        lines = list(self.decls)
+        lines.append(f"fun main ({', '.join(params)}) {{")
+        lines.extend(f"  {line}" for line in body)
+        lines.append(f"  {result}")
+        lines.append("}")
+        source = "\n".join(lines) + "\n"
+
+        vectors = []
+        for index in range(self.cfg.n_vectors):
+            vector = {}
+            for p in params:
+                if index == 0 and rng.random() < 0.5:
+                    vector[p] = rng.choice(_SPECIAL_WORDS)
+                else:
+                    vector[p] = rng.randrange(0, 1 << 32)
+            vectors.append(vector)
+
+        return GenProgram(
+            seed=seed,
+            source=source,
+            params=params,
+            vectors=tuple(vectors),
+            memory_image=self.memory_image,
+        )
+
+
+def generate(seed: int, config: GenConfig | None = None) -> GenProgram:
+    """Generate one well-typed Nova program from ``seed``."""
+    config = config or GenConfig()
+    return _Gen(seed, config).generate(seed)

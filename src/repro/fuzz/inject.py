@@ -1,0 +1,63 @@
+"""Deliberate miscompile injection — sanity checks for the oracle.
+
+A differential fuzzer that has never caught a bug proves nothing; these
+context managers break the compiler in controlled, realistic ways so the
+test suite can demonstrate the oracle *fails* and the shrinker produces
+a small reproducer.  Each patch is config-dependent on purpose: the bug
+must manifest under some configurations of the matrix but not the
+reference point, which is exactly the class of miscompile the oracle is
+built to catch.
+"""
+
+from __future__ import annotations
+
+import importlib
+from contextlib import contextmanager
+
+# ``repro.cps`` re-exports a *function* named ``optimize``; go through
+# importlib so we get the submodule whose ``_fold`` global we patch.
+_optimize = importlib.import_module("repro.cps.optimize")
+
+
+@contextmanager
+def broken_constant_fold(op: str = "xor", delta: int = 1):
+    """Make the optimizer's constant folder mis-evaluate one primitive.
+
+    ``x ^ y`` folded at compile time comes out ``delta`` too large, so
+    any program whose optimized form folds that op diverges between the
+    optimizing configurations and ``no-opt`` (whose folder never runs).
+    The simulator is untouched — exactly a constant-folding miscompile.
+    """
+    original = _optimize._fold
+
+    def bad_fold(fold_op: str, values: list) -> int | None:
+        result = original(fold_op, values)
+        if fold_op == op and result is not None:
+            return (result + delta) & 0xFFFFFFFF
+        return result
+
+    _optimize._fold = bad_fold
+    try:
+        yield
+    finally:
+        _optimize._fold = original
+
+
+@contextmanager
+def disabled_constant_fold():
+    """Turn constant folding off entirely (a *benign* injection).
+
+    Useful as a control: the oracle must NOT report divergences for a
+    patch that only loses an optimization, since the folded and unfolded
+    programs still agree on every input.
+    """
+    original = _optimize._fold
+
+    def no_fold(fold_op: str, values: list) -> int | None:
+        return None
+
+    _optimize._fold = no_fold
+    try:
+        yield
+    finally:
+        _optimize._fold = original

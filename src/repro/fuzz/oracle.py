@@ -1,0 +1,359 @@
+"""Cross-configuration differential oracle.
+
+One generated program is compiled under a matrix of pipeline
+configurations and executed on the :mod:`repro.ixp.machine` simulator
+for every input vector.  The first configuration (``ref`` — optimizer
+and SSU on, no allocator, virtual registers) defines the expected
+behaviour; every other configuration must produce bit-identical halt
+values and memory images, or the program is a *divergence* — evidence of
+a miscompile somewhere between the two configuration points.
+
+Allocator configurations additionally replay the paper's constraint
+families against the extracted ILP solution
+(:func:`repro.alloc.verify.check_solution`) so a solver answer that
+happens to simulate correctly but violates a datapath rule still fails.
+
+Legal asymmetries are *skips*, not divergences:
+
+- ``ssu-off`` only runs virtually (the paper's Sections 9-10 ablation:
+  without SSU some programs have no feasible coloring);
+- the forced-baseline configuration may spill on register-heavy
+  programs, which the heuristic allocator reports by raising — the
+  config is skipped rather than failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.verify import check_solution
+from repro.compiler import Compilation, CompileOptions, compile_nova
+from repro.errors import AllocError, NovaError, SimulatorError
+from repro.ilp.solve import SolveOptions
+from repro.ixp.machine import Machine
+from repro.ixp.memory import MemorySystem
+from repro.trace import ensure
+
+#: scratch window reserved for spill slots / spilled inputs; excluded
+#: from memory comparison on physical runs (see repro.alloc.decode).
+SPILL_WINDOW = (960, 64)
+
+#: cycle budget per simulated vector — generated programs are tiny, so
+#: anything past this is a runaway loop (itself a finding).
+MAX_CYCLES = 5_000_000
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One point in the configuration matrix."""
+
+    name: str
+    options: CompileOptions
+    #: run the allocated (physical-register) flowgraph
+    physical: bool = False
+
+
+def _virtual_options(**overrides) -> CompileOptions:
+    options = CompileOptions(**overrides)
+    options.run_allocator = False
+    return options
+
+
+def default_configs(names: list[str] | None = None) -> list[FuzzConfig]:
+    """The full matrix; ``names`` selects a subset (ref is always kept).
+
+    ``alloc-baseline`` forces the heuristic graph-coloring allocator by
+    giving the exact solver a zero time budget, which walks the PR-2
+    fallback chain to its last stage.
+    """
+    highs = CompileOptions()
+    highs.alloc.solve = SolveOptions(engine="highs", time_limit=60.0)
+    bnb = CompileOptions()
+    bnb.alloc.solve = SolveOptions(engine="bnb", time_limit=60.0)
+    baseline = CompileOptions()
+    baseline.alloc.solve = SolveOptions(engine="bnb", time_limit=0.0)
+
+    matrix = [
+        FuzzConfig("ref", _virtual_options()),
+        FuzzConfig("no-opt", _virtual_options(optimizer_rounds=0)),
+        FuzzConfig("ssu-off", _virtual_options(run_ssu=False)),
+        FuzzConfig("alloc-highs", highs, physical=True),
+        FuzzConfig("alloc-bnb", bnb, physical=True),
+        FuzzConfig("alloc-baseline", baseline, physical=True),
+    ]
+    if names is None:
+        return matrix
+    unknown = set(names) - {c.name for c in matrix}
+    if unknown:
+        raise ValueError(f"unknown fuzz config(s): {sorted(unknown)}")
+    return [c for c in matrix if c.name == "ref" or c.name in names]
+
+
+@dataclass
+class Divergence:
+    """One observed behaviour difference against the reference config."""
+
+    config: str
+    kind: str  # 'results' | 'memory' | 'sim-error' | 'compile-error' | 'verify'
+    vector: int | None = None
+    detail: str = ""
+    expected: object = None
+    actual: object = None
+
+    def __str__(self) -> str:
+        where = f" vector {self.vector}" if self.vector is not None else ""
+        body = self.detail
+        if self.kind in ("results", "memory"):
+            body = f"{self.detail} expected={self.expected} actual={self.actual}"
+        return f"[{self.config}]{where} {self.kind}: {body}"
+
+
+@dataclass
+class Skip:
+    config: str
+    reason: str
+
+
+@dataclass
+class Outcome:
+    """What one config produced for one input vector."""
+
+    results: list | None = None
+    memory: dict | None = None  # space -> {addr: nonzero word}
+    error: str | None = None
+
+
+@dataclass
+class OracleReport:
+    seed: int | None
+    configs_run: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+    skips: list[Skip] = field(default_factory=list)
+    #: reference halt values per vector (None if the program is invalid)
+    reference: list | None = None
+    #: the reference config itself failed: the *program* is bad, not the
+    #: compiler — the generator should never produce these.
+    invalid: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.invalid is None and not self.divergences
+
+
+def _snapshot_memory(memory: MemorySystem, physical: bool) -> dict:
+    """Nonzero words per space, minus the physical spill window."""
+    out: dict[str, dict[int, int]] = {}
+    lo, hi = SPILL_WINDOW[0], SPILL_WINDOW[0] + SPILL_WINDOW[1]
+    for space in ("sram", "sdram", "scratch"):
+        words = {a: w for a, w in memory[space].words.items() if w != 0}
+        if physical and space == "scratch":
+            words = {a: w for a, w in words.items() if not lo <= a < hi}
+        out[space] = words
+    return out
+
+
+def _make_memory(image: dict | None) -> MemorySystem:
+    memory = MemorySystem.create()
+    for space, chunks in (image or {}).items():
+        for addr, words in chunks:
+            memory[space].load_words(addr, words)
+    return memory
+
+
+def _run_vector(
+    comp: Compilation,
+    config: FuzzConfig,
+    vector: dict,
+    memory_image: dict | None,
+    max_cycles: int,
+) -> Outcome:
+    """Compile artifact + one input vector -> halt values and memory."""
+    raw = comp.make_inputs(**vector)
+    memory = _make_memory(memory_image)
+    if config.physical:
+        graph = comp.physical
+        locations = comp.alloc.decoded.input_locations
+        inputs: dict = {}
+        for temp, value in raw.items():
+            loc = locations.get(temp)
+            if loc is None:
+                continue  # dead input
+            kind, where = loc
+            if kind == "reg":
+                inputs[(where.bank, where.index)] = value
+            else:
+                memory["scratch"].load_words(where, [value])
+    else:
+        graph, inputs = comp.flowgraph, raw
+    machine = Machine(
+        graph,
+        memory=memory,
+        threads=1,
+        physical=config.physical,
+        input_provider=lambda tid, it: dict(inputs) if it == 0 else None,
+        max_cycles=max_cycles,
+    )
+    try:
+        run = machine.run()
+    except SimulatorError as exc:
+        return Outcome(error=str(exc))
+    return Outcome(
+        results=[values for _, values in run.results],
+        memory=_snapshot_memory(memory, config.physical),
+    )
+
+
+def _is_legal_skip(config: FuzzConfig, exc: NovaError) -> str | None:
+    """Compile failures that are documented behaviour, not miscompiles."""
+    if not isinstance(exc, AllocError):
+        return None
+    text = str(exc)
+    if config.name == "alloc-baseline" and "spilled" in text:
+        return "baseline allocator spilled"
+    return None
+
+
+def check_program(
+    source: str,
+    vectors,
+    memory_image: dict | None = None,
+    configs: list[FuzzConfig] | None = None,
+    tracer=None,
+    seed: int | None = None,
+    max_cycles: int = MAX_CYCLES,
+) -> OracleReport:
+    """Differentially test one program across the config matrix.
+
+    ``vectors`` is a sequence of ``{param: word}`` input dicts.  Returns
+    an :class:`OracleReport`; ``report.ok`` means every configuration
+    agreed with the reference on every vector (modulo legal skips).
+    """
+    configs = configs or default_configs()
+    tracer = ensure(tracer)
+    report = OracleReport(seed=seed)
+
+    reference: list[Outcome] = []
+    ref_config = configs[0]
+    with tracer.span("fuzz.config", config=ref_config.name):
+        try:
+            ref_comp = compile_nova(source, options=ref_config.options)
+        except NovaError as exc:
+            report.invalid = f"reference compile failed: {exc}"
+            return report
+        for vector in vectors:
+            outcome = _run_vector(
+                ref_comp, ref_config, vector, memory_image, max_cycles
+            )
+            if outcome.error is not None:
+                report.invalid = f"reference run failed: {outcome.error}"
+                return report
+            reference.append(outcome)
+    report.configs_run.append(ref_config.name)
+    report.reference = [o.results for o in reference]
+
+    for config in configs[1:]:
+        with tracer.span("fuzz.config", config=config.name) as sp:
+            try:
+                comp = compile_nova(source, options=config.options)
+            except NovaError as exc:
+                reason = _is_legal_skip(config, exc)
+                if reason is not None:
+                    report.skips.append(Skip(config.name, reason))
+                    if sp:
+                        sp.add(outcome=f"skip:{reason}")
+                    continue
+                report.divergences.append(
+                    Divergence(
+                        config.name,
+                        "compile-error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                if sp:
+                    sp.add(outcome="compile-error")
+                continue
+            report.configs_run.append(config.name)
+            divergences_before = len(report.divergences)
+            if config.physical and comp.alloc is not None:
+                _verify_allocation(comp, config, report)
+            for index, vector in enumerate(vectors):
+                outcome = _run_vector(
+                    comp, config, vector, memory_image, max_cycles
+                )
+                _compare(report, config, index, reference[index], outcome)
+            if sp:
+                new = len(report.divergences) - divergences_before
+                sp.add(outcome="ok" if new == 0 else f"divergences:{new}")
+    return report
+
+
+def _verify_allocation(
+    comp: Compilation, config: FuzzConfig, report: OracleReport
+) -> None:
+    """Replay the ILP constraint families against the solution."""
+    alloc = comp.alloc
+    if alloc.model is None or alloc.alloc is None:
+        return  # baseline fallback: no ILP solution to replay
+    solution_report = check_solution(alloc.model, alloc.alloc)
+    if not solution_report.ok:
+        report.divergences.append(
+            Divergence(
+                config.name,
+                "verify",
+                detail="; ".join(solution_report.violations[:5]),
+            )
+        )
+
+
+def _compare(
+    report: OracleReport,
+    config: FuzzConfig,
+    vector_index: int,
+    expected: Outcome,
+    actual: Outcome,
+) -> None:
+    if actual.error is not None:
+        report.divergences.append(
+            Divergence(
+                config.name, "sim-error", vector=vector_index, detail=actual.error
+            )
+        )
+        return
+    if actual.results != expected.results:
+        report.divergences.append(
+            Divergence(
+                config.name,
+                "results",
+                vector=vector_index,
+                detail="halt values differ",
+                expected=expected.results,
+                actual=actual.results,
+            )
+        )
+        return
+    for space in ("sram", "sdram", "scratch"):
+        if actual.memory[space] != expected.memory[space]:
+            report.divergences.append(
+                Divergence(
+                    config.name,
+                    "memory",
+                    vector=vector_index,
+                    detail=f"{space} contents differ",
+                    expected=expected.memory[space],
+                    actual=actual.memory[space],
+                )
+            )
+            return
+
+
+def check_generated(program, configs=None, tracer=None, max_cycles=MAX_CYCLES):
+    """:func:`check_program` over a :class:`repro.fuzz.gen.GenProgram`."""
+    return check_program(
+        program.source,
+        program.vectors,
+        memory_image=program.memory_image,
+        configs=configs,
+        tracer=tracer,
+        seed=program.seed,
+        max_cycles=max_cycles,
+    )

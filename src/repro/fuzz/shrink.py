@@ -1,0 +1,214 @@
+"""Delta-debugging test-case minimizer for mismatching Nova programs.
+
+Works on source *lines* (the generator emits one statement per line), so
+it needs no AST surgery: a candidate is interesting iff the caller's
+predicate still reports a divergence — candidates that no longer parse,
+typecheck, or reproduce simply fail the predicate and are discarded.
+
+Two phases, iterated to a fixed point under a shared predicate budget:
+
+1. **ddmin over lines** — remove progressively smaller chunks of lines
+   (classic Zeller/Hildebrandt, adapted to "greedy with shrinking chunk
+   size" since the predicate dominates the cost);
+2. **per-line simplification** — rewrite ``let x = <expr>;`` to
+   ``let x = 0;``, drop ``else`` arms, and collapse the final result
+   expression, all of which open up further line removals.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+_LET_RE = re.compile(r"^(\s*let\s+\w+\s*=\s*).*;\s*$")
+_ASSIGN_RE = re.compile(r"^(\s*\w+\s*:=\s*).*;\s*$")
+
+
+@dataclass
+class ShrinkStats:
+    predicate_calls: int = 0
+    lines_before: int = 0
+    lines_after: int = 0
+    rounds: int = 0
+
+
+@dataclass
+class _Budget:
+    remaining: int
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _lines(source: str) -> list[str]:
+    return [line for line in source.splitlines() if line.strip()]
+
+
+def _join(lines: list[str]) -> str:
+    return "\n".join(lines) + "\n"
+
+
+def _ddmin_lines(
+    lines: list[str],
+    interesting: Callable[[str], bool],
+    budget: _Budget,
+    stats: ShrinkStats,
+) -> list[str]:
+    """Remove chunks of lines while the predicate stays true."""
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(lines):
+            candidate = lines[:index] + lines[index + chunk :]
+            if not candidate or not budget.spend():
+                return lines
+            stats.predicate_calls += 1
+            if interesting(_join(candidate)):
+                lines = candidate  # keep the removal, stay at this index
+            else:
+                index += chunk
+        chunk //= 2
+    return lines
+
+
+def _simplify_line(line: str) -> list[str]:
+    """Cheaper variants of one line, most aggressive first."""
+    out = []
+    for pattern in (_LET_RE, _ASSIGN_RE):
+        match = pattern.match(line)
+        if match and not line.strip().endswith("= 0;"):
+            out.append(f"{match.group(1)}0;")
+    stripped = line.strip()
+    # the final result expression of a block: try the simplest value
+    if (
+        stripped
+        and not stripped.endswith((";", "{", "}"))
+        and not stripped.startswith(("fun", "layout", "while", "if"))
+        and stripped != "0"
+    ):
+        indent = line[: len(line) - len(line.lstrip())]
+        out.append(f"{indent}0")
+    return out
+
+
+def _simplify_pass(
+    lines: list[str],
+    interesting: Callable[[str], bool],
+    budget: _Budget,
+    stats: ShrinkStats,
+) -> tuple[list[str], bool]:
+    changed = False
+    for index in range(len(lines)):
+        for replacement in _simplify_line(lines[index]):
+            if not budget.spend():
+                return lines, changed
+            candidate = lines[:index] + [replacement] + lines[index + 1 :]
+            stats.predicate_calls += 1
+            if interesting(_join(candidate)):
+                lines = candidate
+                changed = True
+                break
+    return lines, changed
+
+
+def shrink(
+    source: str,
+    interesting: Callable[[str], bool],
+    max_predicate_calls: int = 400,
+) -> tuple[str, ShrinkStats]:
+    """Minimize ``source`` while ``interesting(source)`` holds.
+
+    ``interesting`` must be true for the input (callers should assert
+    this; :func:`shrink` re-checks and returns the input unchanged if
+    not, so a flaky predicate cannot "minimize" a healthy program).
+    Returns ``(minimized_source, stats)``.
+    """
+    stats = ShrinkStats(lines_before=len(_lines(source)))
+    budget = _Budget(max_predicate_calls)
+    if not budget.spend():
+        stats.lines_after = stats.lines_before
+        return source, stats
+    stats.predicate_calls += 1
+    if not interesting(source):
+        stats.lines_after = stats.lines_before
+        return source, stats
+
+    lines = _lines(source)
+    while True:
+        stats.rounds += 1
+        before = list(lines)
+        lines = _ddmin_lines(lines, interesting, budget, stats)
+        lines, simplified = _simplify_pass(lines, interesting, budget, stats)
+        if lines == before and not simplified:
+            break
+        if budget.remaining <= 0:
+            break
+    stats.lines_after = len(lines)
+    return _join(lines), stats
+
+
+@dataclass
+class CrashArtifact:
+    """What gets written to disk for one divergence."""
+
+    directory: str
+    program_path: str
+    minimized_path: str
+    report_path: str
+
+
+def write_artifact(
+    directory,
+    program,
+    report,
+    minimized: str | None = None,
+    stats: ShrinkStats | None = None,
+) -> CrashArtifact:
+    """Persist a crash-artifact directory for one mismatching program.
+
+    Layout: ``program.nova`` (as generated), ``minimized.nova`` (after
+    shrinking, when available) and ``report.json`` (seed, input vectors,
+    memory image, divergences, shrink statistics) — everything needed to
+    triage without re-running the campaign.
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    program_path = path / "program.nova"
+    program_path.write_text(program.source)
+    minimized_path = path / "minimized.nova"
+    if minimized is not None:
+        minimized_path.write_text(minimized)
+    payload = {
+        "seed": program.seed,
+        "params": list(program.params),
+        "vectors": [dict(v) for v in program.vectors],
+        "memory_image": {
+            space: [[addr, words] for addr, words in chunks]
+            for space, chunks in program.memory_image.items()
+        },
+        "divergences": [str(d) for d in report.divergences],
+        "configs_run": report.configs_run,
+        "skips": [[s.config, s.reason] for s in report.skips],
+    }
+    if stats is not None:
+        payload["shrink"] = {
+            "predicate_calls": stats.predicate_calls,
+            "lines_before": stats.lines_before,
+            "lines_after": stats.lines_after,
+            "rounds": stats.rounds,
+        }
+    report_path = path / "report.json"
+    report_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return CrashArtifact(
+        directory=str(path),
+        program_path=str(program_path),
+        minimized_path=str(minimized_path),
+        report_path=str(report_path),
+    )

@@ -336,6 +336,13 @@ class Machine:
             if self._opcode_hist is not None:
                 self._record_opcode(instr, cost)
             clock += cost
+            # The outer scheduler only sees the clock when this thread
+            # blocks or yields, so a pure-ALU infinite loop would spin
+            # here forever; enforce the budget per instruction as well.
+            if clock > self.max_cycles:
+                raise SimulatorError(
+                    f"simulation exceeded {self.max_cycles} cycles"
+                )
             if blocked:
                 thread.ready_at = blocked
                 thread.stats.mem_stall_cycles += max(0, blocked - clock)

@@ -1,0 +1,101 @@
+"""The campaign driver and the ``novac fuzz`` CLI."""
+
+import json
+import pathlib
+
+from repro.cli import main
+from repro.fuzz.driver import run_campaign
+from repro.fuzz.gen import GenConfig
+from repro.fuzz.inject import broken_constant_fold
+from repro.trace import Tracer
+
+
+def test_small_campaign_all_ok(tmp_path):
+    result = run_campaign(
+        seed=0,
+        count=4,
+        config_names=["no-opt"],
+        artifact_dir=str(tmp_path),
+    )
+    assert len(result.units) == 4
+    assert all(unit.ok for unit in result.units)
+    assert result.artifacts == []
+    summary = result.summary()
+    assert summary["ok"] == 4
+    assert summary["divergent"] == 0
+
+
+def test_campaign_is_deterministic():
+    a = run_campaign(seed=3, count=3, config_names=["no-opt"], shrink_findings=False)
+    b = run_campaign(seed=3, count=3, config_names=["no-opt"], shrink_findings=False)
+    assert [u.seed for u in a.units] == [u.seed for u in b.units]
+    assert [u.ok for u in a.units] == [u.ok for u in b.units]
+
+
+def test_campaign_traces_units():
+    tracer = Tracer()
+    run_campaign(
+        seed=0, count=2, config_names=["no-opt"], tracer=tracer, shrink_findings=False
+    )
+    names = [span.name for span in tracer.spans]
+    assert "fuzz" in names
+    assert names.count("fuzz.unit") == 2
+    assert "fuzz.config" in names
+
+
+def test_injected_bug_produces_crash_artifact(tmp_path):
+    """End-to-end: campaign finds the miscompile, shrinks it, persists it."""
+    gen_config = GenConfig(max_stmts=5)
+    # "and" folds often in generated programs (masking patterns); seeds 7
+    # and 11 in this window are known to exercise it.
+    with broken_constant_fold(op="and", delta=1):
+        result = run_campaign(
+            seed=0,
+            count=12,
+            config_names=["no-opt"],
+            gen_config=gen_config,
+            artifact_dir=str(tmp_path),
+            shrink_budget=150,
+        )
+    divergent = [u for u in result.units if not u.ok and u.invalid is None]
+    assert divergent, "no seed in 0..12 exercised constant folding"
+    assert result.artifacts
+    artifact = result.artifacts[0]
+    directory = pathlib.Path(artifact.directory)
+    assert (directory / "program.nova").exists()
+    assert (directory / "minimized.nova").exists()
+    payload = json.loads((directory / "report.json").read_text())
+    assert payload["divergences"]
+    minimized = (directory / "minimized.nova").read_text()
+    assert len([l for l in minimized.splitlines() if l.strip()]) <= 15
+
+
+def test_cli_fuzz_exit_codes(tmp_path, capsys):
+    ok = main(
+        [
+            "fuzz",
+            "--seed",
+            "0",
+            "--count",
+            "2",
+            "--configs",
+            "no-opt",
+            "--artifact-dir",
+            str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert ok == 0
+    assert "2/2 ok" in out
+
+
+def test_cli_fuzz_rejects_unknown_config(capsys):
+    code = main(["fuzz", "--count", "1", "--configs", "bogus"])
+    assert code == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_cli_fuzz_rejects_unknown_feature(capsys):
+    code = main(["fuzz", "--count", "1", "--features", "bogus"])
+    assert code == 2
+    assert "unknown features" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""The delta-debugging minimizer, on synthetic predicates."""
+
+from repro.fuzz.shrink import ShrinkStats, shrink, write_artifact
+
+
+def test_ddmin_keeps_only_needed_lines():
+    source = "\n".join(f"line{i}" for i in range(20)) + "\nNEEDLE\n"
+
+    def interesting(text):
+        return "NEEDLE" in text
+
+    minimized, stats = shrink(source, interesting)
+    assert minimized.strip() == "NEEDLE"
+    assert stats.lines_before == 21
+    assert stats.lines_after == 1
+
+
+def test_ddmin_keeps_interacting_pair():
+    lines = [f"l{i}" for i in range(16)]
+    lines[3] = "ALPHA"
+    lines[12] = "BETA"
+    source = "\n".join(lines) + "\n"
+
+    def interesting(text):
+        return "ALPHA" in text and "BETA" in text
+
+    minimized, _ = shrink(source, interesting)
+    kept = [l for l in minimized.splitlines() if l.strip()]
+    assert kept == ["ALPHA", "BETA"]
+
+
+def test_non_interesting_input_returned_unchanged():
+    source = "a\nb\nc\n"
+    minimized, stats = shrink(source, lambda text: False)
+    assert minimized == source
+    assert stats.lines_after == stats.lines_before == 3
+
+
+def test_budget_bounds_predicate_calls():
+    source = "\n".join(f"line{i}" for i in range(40)) + "\n"
+    calls = [0]
+
+    def interesting(text):
+        calls[0] += 1
+        return True
+
+    shrink(source, interesting, max_predicate_calls=25)
+    assert calls[0] <= 25
+
+
+def test_line_simplification_rewrites_lets():
+    source = "let a = (x ^ y);\nlet b = (a + 1);\nKEEP\n"
+
+    def interesting(text):
+        return "KEEP" in text
+
+    minimized, _ = shrink(source, interesting)
+    assert minimized.strip() == "KEEP"
+
+
+def test_write_artifact_layout(tmp_path):
+    from repro.fuzz.gen import generate
+    from repro.fuzz.oracle import OracleReport
+
+    program = generate(0)
+    report = OracleReport(seed=0)
+    artifact = write_artifact(
+        tmp_path / "crash-seed0",
+        program,
+        report,
+        minimized="fun main (x) { x }\n",
+        stats=ShrinkStats(predicate_calls=3, lines_before=9, lines_after=1),
+    )
+    import json
+    import pathlib
+
+    directory = pathlib.Path(artifact.directory)
+    assert (directory / "program.nova").read_text() == program.source
+    assert (directory / "minimized.nova").read_text().startswith("fun main")
+    payload = json.loads((directory / "report.json").read_text())
+    assert payload["seed"] == 0
+    assert payload["shrink"]["lines_after"] == 1

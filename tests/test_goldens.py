@@ -1,0 +1,55 @@
+"""Golden-listing regression tests for the checked-in Nova examples.
+
+Each ``examples/*.nova`` compiles to a *virtual* (pre-allocation)
+listing that is compared byte-for-byte against a committed
+``tests/goldens/<name>.golden`` file, so any drift in parsing, CPS
+conversion, optimization, SSU or instruction selection shows up as a
+readable diff.  Virtual listings are used deliberately: they are fully
+deterministic across platforms, while ILP solver output can vary with
+scipy/HiGHS versions.
+
+To accept intentional codegen changes::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+"""
+
+import pathlib
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_nova
+from repro.ixp.listing import render_listing
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+GOLDENS = pathlib.Path(__file__).resolve().parent / "goldens"
+
+NOVA_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.nova"))
+
+
+def _virtual_listing(path: pathlib.Path) -> str:
+    options = CompileOptions()
+    options.run_allocator = False
+    comp = compile_nova(path.read_text(), str(path.name), options)
+    return render_listing(comp.flowgraph, title=path.name)
+
+
+def test_examples_are_covered():
+    assert NOVA_EXAMPLES, "no .nova files under examples/"
+
+
+@pytest.mark.parametrize("name", NOVA_EXAMPLES)
+def test_example_listing_matches_golden(name, update_goldens):
+    listing = _virtual_listing(EXAMPLES / name)
+    golden_path = GOLDENS / f"{pathlib.Path(name).stem}.golden"
+    if update_goldens:
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(listing)
+        pytest.skip(f"updated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden for {name}; run pytest with --update-goldens"
+    )
+    expected = golden_path.read_text()
+    assert listing == expected, (
+        f"virtual listing for {name} drifted from {golden_path.name}; "
+        "if the change is intentional, rerun with --update-goldens"
+    )

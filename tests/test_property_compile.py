@@ -5,6 +5,12 @@ lets, ifs, while-accumulation); each is rendered to Nova source,
 compiled through the full front end + CPS optimizer + selection, run on
 the simulator, and compared against direct evaluation of the same tree
 in Python.  This hunts miscompilations anywhere in the pipeline.
+
+The last section goes further: whole programs from the typed fuzz
+generator (:mod:`repro.fuzz.gen`) — records, layouts, try/raise, calls,
+memory traffic — are *executed* under the cross-configuration oracle
+(:mod:`repro.fuzz.oracle`), not just compiled.  Derandomized so CI runs
+are reproducible; ``novac fuzz`` is the open-ended version.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.fuzz.gen import GenConfig, generate
+from repro.fuzz.oracle import check_generated, default_configs
 from tests.helpers import compile_virtual, run_main
 
 MASK = 0xFFFFFFFF
@@ -223,3 +231,25 @@ def test_random_loop_accumulation(tree, n, seed):
         env = {"x": (i + seed) & MASK, "y": seed_y}
         acc ^= tree.eval(env)
     assert results == [(acc & MASK,)]
+
+
+# -- whole-program differential execution (oracle-backed) --------------------
+
+
+@given(st.integers(0, 50_000))
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_generated_program_agrees_across_virtual_configs(seed):
+    """Typed full programs: optimizer and SSU must not change meaning."""
+    program = generate(seed, GenConfig(max_stmts=4))
+    report = check_generated(
+        program, configs=default_configs(["no-opt", "ssu-off"])
+    )
+    assert report.invalid is None, (
+        f"seed {seed} generated an invalid program: {report.invalid}\n"
+        f"{program.source}"
+    )
+    assert report.ok, (
+        f"seed {seed} diverged: "
+        + "; ".join(str(d) for d in report.divergences)
+        + f"\n{program.source}"
+    )

@@ -1,0 +1,58 @@
+"""Minimized reproducers from fuzz campaigns (regression suite).
+
+Each ``tests/reproducers/*.nova`` file is a program the differential
+fuzzer once flagged, shrunk by :mod:`repro.fuzz.shrink`, with the root
+cause recorded in its header comment.  Every one must now pass the same
+differential check that originally failed it.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz.oracle import check_program, default_configs
+
+REPRODUCERS = pathlib.Path(__file__).resolve().parent / "reproducers"
+
+#: file -> (configs it diverged under, input vectors, memory image)
+CASES = {
+    "prune_chain.nova": (
+        ["no-opt"],
+        [{"x0": 21215132, "x1": 256}, {"x0": 4239086761, "x1": 99031304}],
+        None,
+    ),
+    "baseline_dead_input.nova": (
+        ["alloc-baseline", "alloc-highs", "alloc-bnb"],
+        [{"x0": 2, "x1": 2147483647, "x2": 256}],
+        None,
+    ),
+    "baseline_dead_drain.nova": (
+        ["alloc-baseline", "alloc-highs", "alloc-bnb"],
+        [{"x0": 5}],
+        {"sdram": [[64, [111, 222]]]},
+    ),
+    "freq_degenerate_branch.nova": (
+        ["alloc-highs", "alloc-bnb"],
+        [{"acc14": 1694756940}, {"acc14": 0}],
+        None,
+    ),
+}
+
+
+def test_every_reproducer_has_a_case():
+    files = {p.name for p in REPRODUCERS.glob("*.nova")}
+    assert files == set(CASES), "keep CASES in sync with tests/reproducers/"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_reproducer_no_longer_diverges(name):
+    configs, vectors, memory_image = CASES[name]
+    source = (REPRODUCERS / name).read_text()
+    report = check_program(
+        source,
+        vectors,
+        memory_image=memory_image,
+        configs=default_configs(configs),
+    )
+    assert report.invalid is None, report.invalid
+    assert not report.divergences, [str(d) for d in report.divergences]

@@ -98,6 +98,65 @@ class TestReplayCatchesCorruption:
         assert any("both operands" in v for v in report.violations)
 
 
+class TestReplayCatchesRegisterSharing:
+    """Corruptions that make two live values share one register."""
+
+    def test_detects_shared_transfer_register(self):
+        comp = compile_full(case("sdram_pairs").source)
+        solution = comp.alloc.alloc
+        # Collapse an aggregate onto one transfer register: both members
+        # get the same color, i.e. two live ranges in one register.
+        found = None
+        for p1, p2, names in (
+            comp.alloc.model.sets.def_l + comp.alloc.model.sets.def_ld
+        ):
+            if len(names) >= 2:
+                found = names
+                break
+        assert found is not None
+        bank = comp.alloc.alloc.banks_before[
+            (p2, found[0])
+        ]  # the aggregate's bank
+        colors = dict(solution.colors)
+        colors[(found[1], bank)] = colors[(found[0], bank)]
+        report = check_solution(
+            comp.alloc.model, _tamper(solution, colors=colors)
+        )
+        assert not report.ok
+        assert any("adjacent" in v for v in report.violations)
+
+    def test_detects_missing_assignment(self):
+        comp = compile_full(case("memory_roundtrip").source)
+        solution = comp.alloc.alloc
+        p, v = sorted(comp.alloc.model.live.exists)[0]
+        banks_before = dict(solution.banks_before)
+        del banks_before[(p, v)]
+        report = check_solution(
+            comp.alloc.model, _tamper(solution, banks_before=banks_before)
+        )
+        assert not report.ok
+        assert any("no Before bank" in v for v in report.violations)
+
+    def test_detects_hash_register_mismatch(self):
+        comp = compile_full(case("hash_unit").source)
+        solution = comp.alloc.alloc
+        sets = comp.alloc.model.sets
+        if not sets.same_reg:
+            pytest.skip("no hash pair in this program")
+        p1, p2, d, s = sets.same_reg[0]
+        colors = dict(solution.colors)
+        from repro.ixp.banks import Bank as B
+
+        colors[(d, B.L)] = (colors.get((d, B.L), 0) + 1) % 8
+        if colors[(d, B.L)] == colors.get((s, B.S)):
+            colors[(d, B.L)] = (colors[(d, B.L)] + 1) % 8
+        report = check_solution(
+            comp.alloc.model, _tamper(solution, colors=colors)
+        )
+        assert not report.ok
+        assert any("SameReg" in v for v in report.violations)
+
+
 class TestEquivalenceChecker:
     def test_passes_on_correct_code(self):
         tc = case("memory_roundtrip")
@@ -126,6 +185,37 @@ class TestEquivalenceChecker:
             if sabotaged:
                 break
         assert sabotaged
+        report = check_equivalence(
+            comp.flowgraph,
+            comp.physical,
+            comp.make_inputs(**tc.inputs),
+            comp.alloc.decoded.input_locations,
+            memory_image=tc.memory,
+            spill_region=(960, 64),
+        )
+        assert not report.ok
+
+    def test_catches_register_aliasing(self):
+        """Redirecting a result into another live register (two ranges
+        aliased onto one register) must show up as a behaviour change."""
+        tc = case("memory_roundtrip")
+        comp = compile_full(tc.source)
+        aliased = False
+        for block in comp.physical.blocks.values():
+            for i, instr in enumerate(block.instrs):
+                if (
+                    isinstance(instr, isa.Alu)
+                    and isinstance(instr.dst, isa.PhysReg)
+                    and instr.dst.bank in (Bank.A, Bank.B)
+                ):
+                    wrong = isa.PhysReg(instr.dst.bank, (instr.dst.index + 1) % 15)
+                    if wrong != instr.dst:
+                        block.instrs[i] = isa.Alu(wrong, instr.op, instr.a, instr.b)
+                        aliased = True
+                        break
+            if aliased:
+                break
+        assert aliased
         report = check_equivalence(
             comp.flowgraph,
             comp.physical,
