@@ -1,0 +1,124 @@
+"""Simulator speed: pre-decoded closure path vs reference interpreter.
+
+Runs the two Section 11 cipher benchmarks (AES at 16-byte payloads,
+Kasumi at 8-byte payloads) on the allocated code under both execution
+paths and records instructions/sec and simulated cycles/sec to
+``BENCH_sim.json`` at the repo root.  ``benchmarks/perf_smoke.py`` reads
+that file in CI and fails on pathological regressions.
+
+Methodology: one small warmup run per path (populates the decode cache
+and the interpreter's hot code), then one timed run of 40 packets per
+thread on 4 threads.  Instructions executed are identical across paths
+(the decode stage is observationally invisible — see
+``tests/test_decode_parity.py``), so instructions/sec ratios are wall
+-clock ratios.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.apps.driver import run_physical_threads
+
+from benchmarks.conftest import print_table
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = ROOT / "BENCH_sim.json"
+
+#: (app name, payload bytes, cipher block bytes)
+BENCHES = [("AES", 16, 16), ("Kasumi", 8, 8)]
+
+#: conservative floor for the decoded-path speedup asserted here (the
+#: recorded numbers land well above; the floor only guards against the
+#: decode path silently falling back to the interpreter)
+MIN_SPEEDUP = 3.0
+
+
+def _payload_words(payload_bytes: int) -> list[int]:
+    data = bytes((i * 37 + 11) & 0xFF for i in range(payload_bytes))
+    return [
+        int.from_bytes(data[i : i + 4], "big") for i in range(0, len(data), 4)
+    ]
+
+
+def _measure(compiled_apps, name, payload_bytes, block, decode, packets=40):
+    app, comp = compiled_apps[name]
+    words = _payload_words(payload_bytes)
+    kwargs = dict(
+        threads=4,
+        input_overrides={"nblocks": payload_bytes // block},
+        decode=decode,
+    )
+    run_physical_threads(comp, app, words, packets_per_thread=2, **kwargs)
+    start = time.perf_counter()
+    result = run_physical_threads(
+        comp, app, words, packets_per_thread=packets, **kwargs
+    )
+    seconds = time.perf_counter() - start
+    run = result.run
+    return run.instructions / seconds, run.cycles / seconds
+
+
+def write_bench_file(results: dict) -> None:
+    """Persist results; the baseline block is frozen once recorded."""
+    data = {
+        "meta": {
+            "benchmark": "benchmarks/test_sim_speed.py",
+            "units": {"ips": "simulated instructions/sec", "cps": "simulated cycles/sec"},
+            "python": sys.version.split()[0],
+        },
+        "results": results,
+    }
+    baseline = None
+    if BENCH_FILE.exists():
+        try:
+            baseline = json.loads(BENCH_FILE.read_text()).get("baseline")
+        except (OSError, ValueError):
+            baseline = None
+    data["baseline"] = baseline or {
+        key: {"ips_decoded": row["ips_decoded"], "ips_interp": row["ips_interp"]}
+        for key, row in results.items()
+    }
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_sim_speed_table(compiled_apps):
+    rows = []
+    results = {}
+    for name, payload_bytes, block in BENCHES:
+        key = f"{name}-{payload_bytes}"
+        ips_dec, cps_dec = _measure(
+            compiled_apps, name, payload_bytes, block, decode=True
+        )
+        ips_int, cps_int = _measure(
+            compiled_apps, name, payload_bytes, block, decode=False
+        )
+        speedup = ips_dec / ips_int
+        results[key] = {
+            "ips_decoded": round(ips_dec),
+            "ips_interp": round(ips_int),
+            "cps_decoded": round(cps_dec),
+            "cps_interp": round(cps_int),
+            "speedup": round(speedup, 2),
+        }
+        rows.append(
+            [
+                key,
+                f"{ips_dec / 1e6:.2f}M",
+                f"{ips_int / 1e6:.2f}M",
+                f"{cps_dec / 1e6:.2f}M",
+                f"{speedup:.1f}x",
+            ]
+        )
+    print_table(
+        "Simulator speed: decoded vs interpreter (4 threads)",
+        ["bench", "ips decoded", "ips interp", "cycles/s decoded", "speedup"],
+        rows,
+    )
+    write_bench_file(results)
+    for key, row in results.items():
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"{key}: decoded path only {row['speedup']}x over the "
+            f"interpreter (floor {MIN_SPEEDUP}x)"
+        )

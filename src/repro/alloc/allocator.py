@@ -131,18 +131,31 @@ def _solve_chain(model, options: AllocOptions, tracer, phase: str = ""):
 
 
 def allocate(
-    graph: FlowGraph, options: AllocOptions | None = None, tracer=None
+    graph: FlowGraph,
+    options: AllocOptions | None = None,
+    tracer=None,
+    prebuilt: AllocModel | None = None,
 ) -> AllocResult:
-    """Run the paper's ILP-based allocation pipeline on a flowgraph."""
+    """Run the paper's ILP-based allocation pipeline on a flowgraph.
+
+    ``prebuilt`` reuses an :class:`AllocModel` already built from the
+    *same graph and model options* (the caller's responsibility — the
+    fuzz oracle shares one model across its solver-engine configs).  It
+    is ignored for the two-phase and rematerialization variants, which
+    transform the graph or mutate the model's objective.
+    """
     options = options or AllocOptions()
     tracer = ensure(tracer)
     if options.model.remat_constants:
         from repro.alloc.remat import lift_constants
 
         graph, _ = lift_constants(graph)
+        prebuilt = None
     if options.two_phase:
         return _allocate_two_phase(graph, options, tracer)
-    am = build_model(graph, options.model, tracer)
+    am = prebuilt if prebuilt is not None else build_model(
+        graph, options.model, tracer
+    )
     solution, downgraded = _solve_chain(am.model, options, tracer)
     if solution is None:
         return _degrade_to_baseline(graph, options, tracer, downgraded)

@@ -42,6 +42,7 @@ def run_physical_threads(
     packets_per_thread: int = 4,
     thread_stride: int = 0x400,
     input_overrides: dict | None = None,
+    decode: bool = True,
 ) -> ThroughputResult:
     """Run the allocated application over a synthetic packet stream.
 
@@ -49,6 +50,9 @@ def run_physical_threads(
     preloaded with the payload; it processes ``packets_per_thread``
     packets (one per halt iteration).  ``input_overrides`` replaces
     source-level inputs (e.g. ``nblocks``) without mutating ``app``.
+    ``decode=False`` forces the reference interpreter instead of the
+    pre-decoded execution path (used by the benchmark suite to measure
+    the decode speedup).
     """
     assert comp.alloc is not None, "needs an allocated compilation"
     memory = MemorySystem.create()
@@ -94,6 +98,7 @@ def run_physical_threads(
         physical=True,
         input_provider=provider,
         max_cycles=200_000_000,
+        decode=decode,
     )
     run = machine.run()
     packets = threads * packets_per_thread

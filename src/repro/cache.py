@@ -59,6 +59,20 @@ def options_fingerprint(options: CompileOptions) -> str:
     return json.dumps(_plain(options), sort_keys=True, separators=(",", ":"))
 
 
+def frontend_fingerprint(options: CompileOptions) -> str:
+    """Fingerprint of only the options the pre-allocation pipeline sees.
+
+    Two option points with equal front-end fingerprints compile to the
+    same virtual flowgraph (allocator knobs are excluded), so the fuzz
+    oracle can re-run just the allocator on a shared
+    :class:`repro.compiler.Compilation`.
+    """
+    plain = _plain(options)
+    plain.pop("alloc", None)
+    plain.pop("run_allocator", None)
+    return json.dumps(plain, sort_keys=True, separators=(",", ":"))
+
+
 def cache_key(source: str, options: CompileOptions) -> str:
     """Stable content hash of (format, options, source)."""
     digest = hashlib.sha256()

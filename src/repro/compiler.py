@@ -181,6 +181,211 @@ class Compilation:
         return out
 
 
+@dataclass
+class FrontEnd:
+    """The option-independent prefix of the pipeline.
+
+    parse → typecheck → CPS convert → de-proceduralize depend on the
+    source alone, not on :class:`CompileOptions`, so one ``FrontEnd``
+    can feed several back-end runs (the fuzz oracle compiles every seed
+    under six option points).  The CPS IR is functional and the gensym
+    is cloned per back-end run, so sharing is observationally identical
+    to compiling from scratch.
+    """
+
+    source: str
+    filename: str
+    program: ast.Program
+    typed: TypedProgram
+    cps: CpsProgram
+    first_order: FirstOrderProgram
+    source_stats: SourceStats
+    phase_seconds: dict[str, float]
+
+
+def _timed(tracer, times: dict[str, float], name: str, fn):
+    with tracer.span(name) as sp:
+        start = time.perf_counter()
+        result = fn()
+        times[name] = time.perf_counter() - start
+    return result, sp
+
+
+def parse_front(
+    source: str, filename: str = "<nova>", tracer: Tracer | None = None
+) -> FrontEnd:
+    """Run the option-independent front half of the pipeline."""
+    tracer = ensure(tracer)
+    times: dict[str, float] = {}
+    program, sp_parse = _timed(
+        tracer, times, "parse", lambda: parse_program(source, filename)
+    )
+    source_stats = SourceStats.of(source, program)
+    if sp_parse:
+        sp_parse.add(
+            lines=source_stats.line_count,
+            layouts=source_stats.layouts,
+            packs=source_stats.packs,
+            unpacks=source_stats.unpacks,
+            raises=source_stats.raises,
+            handles=source_stats.handles,
+        )
+    typed, sp = _timed(
+        tracer, times, "typecheck", lambda: typecheck_program(program)
+    )
+    if sp:
+        sp.add(funs=len(program.funs), layouts=len(program.layouts))
+    cps, sp = _timed(tracer, times, "cps", lambda: cps_convert(typed))
+    if sp:
+        sp.add(
+            funs=len(cps.funs),
+            term_nodes=sum(ir.term_size(f.body) for f in cps.funs.values()),
+        )
+    first_order, sp = _timed(
+        tracer, times, "deproc", lambda: deproceduralize(cps)
+    )
+    if sp:
+        sp.add(term_nodes=ir.term_size(first_order.term))
+    return FrontEnd(
+        source=source,
+        filename=filename,
+        program=program,
+        typed=typed,
+        cps=cps,
+        first_order=first_order,
+        source_stats=source_stats,
+        phase_seconds=times,
+    )
+
+
+def compile_from_front(
+    front: FrontEnd,
+    options: CompileOptions | None = None,
+    tracer: Tracer | None = None,
+) -> Compilation:
+    """Run the option-dependent back half over a parsed front end.
+
+    ``front`` is not consumed: the shared IR is never mutated and fresh
+    names come from a cloned gensym, so repeated calls with different
+    options each behave like a full :func:`compile_nova`.
+    """
+    options = options or CompileOptions()
+    tracer = ensure(tracer)
+    times = dict(front.phase_seconds)
+    first_order = FirstOrderProgram(
+        front.first_order.params,
+        front.first_order.term,
+        front.first_order.gensym.clone(),
+    )
+    opt, sp = _timed(
+        tracer,
+        times,
+        "optimize",
+        lambda: optimize(first_order.term, options.optimizer_rounds),
+    )
+    if sp:
+        sp.add(
+            rounds=opt.stats.rounds,
+            simplifications=opt.stats.total(),
+            term_nodes=ir.term_size(opt.term),
+        )
+    optimized = FirstOrderProgram(
+        first_order.params, opt.term, first_order.gensym
+    )
+    if options.run_ssu:
+        pair, sp = _timed(tracer, times, "ssu", lambda: to_ssu(optimized))
+        ssu, ssu_stats = pair
+        assert check_ssu(ssu.term), "SSU transform failed its own invariant"
+        if sp:
+            sp.add(
+                clones_inserted=ssu_stats.clones_inserted,
+                writes_rewritten=ssu_stats.writes_rewritten,
+                term_nodes=ir.term_size(ssu.term),
+            )
+    else:
+        ssu, ssu_stats = optimized, SsuStats()
+    graph, sp = _timed(tracer, times, "select", lambda: select_instructions(ssu))
+    if sp:
+        sp.add(
+            instructions=graph.num_instructions(),
+            blocks=len(graph.blocks),
+            temps=len(graph.temps()),
+        )
+    alloc = None
+    if options.run_allocator:
+        alloc, sp = _timed(
+            tracer,
+            times,
+            "allocate",
+            lambda: allocate(graph, options.alloc, tracer),
+        )
+        if sp:
+            _add_alloc_counters(sp, alloc)
+    return Compilation(
+        source=front.source,
+        program=front.program,
+        typed=front.typed,
+        cps=front.cps,
+        first_order=first_order,
+        opt_result=opt,
+        ssu=ssu,
+        ssu_stats=ssu_stats,
+        flowgraph=graph,
+        alloc=alloc,
+        source_stats=front.source_stats,
+        phase_seconds=times,
+        trace=tracer if tracer.enabled else None,
+    )
+
+
+def _add_alloc_counters(sp, alloc: AllocResult) -> None:
+    sp.add(
+        variables=alloc.variables,
+        constraints=alloc.constraints,
+        objective_terms=alloc.objective_terms,
+        root_relaxation_seconds=alloc.root_seconds,
+        integer_seconds=alloc.integer_seconds,
+        moves=alloc.moves,
+        spills=alloc.spills,
+        status=alloc.status,
+    )
+
+
+def allocate_compilation(
+    comp: Compilation,
+    options: CompileOptions,
+    tracer: Tracer | None = None,
+    prebuilt=None,
+) -> Compilation:
+    """Re-run only the allocator over an existing virtual compilation.
+
+    For option points that differ solely in :class:`AllocOptions` (the
+    fuzz oracle's three allocator configs share one front end and one
+    virtual flowgraph), this skips every phase up to and including
+    instruction selection.  ``prebuilt`` optionally passes an already
+    built :class:`repro.alloc.ilpmodel.AllocModel` for the same graph
+    and model options through to :func:`repro.alloc.allocator.allocate`.
+    """
+    tracer = ensure(tracer)
+    times = dict(comp.phase_seconds)
+    alloc, sp = _timed(
+        tracer,
+        times,
+        "allocate",
+        lambda: allocate(
+            comp.flowgraph, options.alloc, tracer, prebuilt=prebuilt
+        ),
+    )
+    if sp:
+        _add_alloc_counters(sp, alloc)
+    return replace(
+        comp,
+        alloc=alloc,
+        phase_seconds=times,
+        trace=tracer if tracer.enabled else None,
+    )
+
+
 class Compiler:
     """Staged compiler; reusable across programs.
 
@@ -198,104 +403,8 @@ class Compiler:
         self.tracer = ensure(tracer)
 
     def compile(self, source: str, filename: str = "<nova>") -> Compilation:
-        tracer = self.tracer
-        times: dict[str, float] = {}
-
-        def timed(name: str, fn):
-            with tracer.span(name) as sp:
-                start = time.perf_counter()
-                result = fn()
-                times[name] = time.perf_counter() - start
-            return result, sp
-
-        program, sp_parse = timed(
-            "parse", lambda: parse_program(source, filename)
-        )
-        typed, sp = timed("typecheck", lambda: typecheck_program(program))
-        if sp:
-            sp.add(funs=len(program.funs), layouts=len(program.layouts))
-        cps, sp = timed("cps", lambda: cps_convert(typed))
-        if sp:
-            sp.add(
-                funs=len(cps.funs),
-                term_nodes=sum(ir.term_size(f.body) for f in cps.funs.values()),
-            )
-        first_order, sp = timed("deproc", lambda: deproceduralize(cps))
-        if sp:
-            sp.add(term_nodes=ir.term_size(first_order.term))
-        opt, sp = timed(
-            "optimize",
-            lambda: optimize(first_order.term, self.options.optimizer_rounds),
-        )
-        if sp:
-            sp.add(
-                rounds=opt.stats.rounds,
-                simplifications=opt.stats.total(),
-                term_nodes=ir.term_size(opt.term),
-            )
-        optimized = FirstOrderProgram(
-            first_order.params, opt.term, first_order.gensym
-        )
-        if self.options.run_ssu:
-            (pair, sp) = timed("ssu", lambda: to_ssu(optimized))
-            ssu, ssu_stats = pair
-            assert check_ssu(ssu.term), "SSU transform failed its own invariant"
-            if sp:
-                sp.add(
-                    clones_inserted=ssu_stats.clones_inserted,
-                    writes_rewritten=ssu_stats.writes_rewritten,
-                    term_nodes=ir.term_size(ssu.term),
-                )
-        else:
-            ssu, ssu_stats = optimized, SsuStats()
-        graph, sp = timed("select", lambda: select_instructions(ssu))
-        if sp:
-            sp.add(
-                instructions=graph.num_instructions(),
-                blocks=len(graph.blocks),
-                temps=len(graph.temps()),
-            )
-        alloc = None
-        if self.options.run_allocator:
-            alloc, sp = timed(
-                "allocate", lambda: allocate(graph, self.options.alloc, tracer)
-            )
-            if sp:
-                sp.add(
-                    variables=alloc.variables,
-                    constraints=alloc.constraints,
-                    objective_terms=alloc.objective_terms,
-                    root_relaxation_seconds=alloc.root_seconds,
-                    integer_seconds=alloc.integer_seconds,
-                    moves=alloc.moves,
-                    spills=alloc.spills,
-                    status=alloc.status,
-                )
-        source_stats = SourceStats.of(source, program)
-        if sp_parse:
-            sp_parse.add(
-                lines=source_stats.line_count,
-                layouts=source_stats.layouts,
-                packs=source_stats.packs,
-                unpacks=source_stats.unpacks,
-                raises=source_stats.raises,
-                handles=source_stats.handles,
-            )
-        return Compilation(
-            source=source,
-            program=program,
-            typed=typed,
-            cps=cps,
-            first_order=first_order,
-            opt_result=opt,
-            ssu=ssu,
-            ssu_stats=ssu_stats,
-            flowgraph=graph,
-            alloc=alloc,
-            source_stats=source_stats,
-            phase_seconds=times,
-            trace=tracer if tracer.enabled else None,
-        )
+        front = parse_front(source, filename, self.tracer)
+        return compile_from_front(front, self.options, self.tracer)
 
 
 def compile_nova(

@@ -31,6 +31,7 @@ Grammar::
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass
 
@@ -277,6 +278,17 @@ class Gensym:
 
     def fresh(self, hint: str = "t") -> str:
         return f"{self._prefix}{hint}.{next(self._counter)}"
+
+    def clone(self) -> "Gensym":
+        """An independent supply continuing from the same next number.
+
+        Lets one parsed front end feed several back-end runs (different
+        optimizer/SSU/allocator options) while each run generates exactly
+        the names a from-scratch compile would.
+        """
+        dup = Gensym(self._prefix)
+        dup._counter = copy.copy(self._counter)
+        return dup
 
 
 # --------------------------------------------------------------------------

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.batch import scatter
+from repro.cache import CompileCache
 from repro.fuzz.gen import ALL_FEATURES, GenConfig, generate
 from repro.fuzz.oracle import check_generated, default_configs
 from repro.fuzz.shrink import shrink, write_artifact
@@ -36,6 +37,8 @@ class FuzzUnit:
     skips: list = field(default_factory=list)
     invalid: str | None = None
     source: str | None = None  # kept only for failing units
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -60,6 +63,8 @@ class FuzzResult:
             "divergent": len(self.failed) - len(self.invalid),
             "invalid": len(self.invalid),
             "skipped_configs": sum(len(u.skips) for u in self.units),
+            "cache_hits": sum(u.cache_hits for u in self.units),
+            "cache_misses": sum(u.cache_misses for u in self.units),
             "jobs": self.jobs,
             "seconds": round(self.seconds, 3),
         }
@@ -71,10 +76,13 @@ def _fuzz_unit(
     config_names: list | None,
     max_cycles: int,
     trace: bool,
+    cache_dir: str | None = None,
 ) -> tuple[FuzzUnit, list]:
     """One seed: generate, cross-check, report.  Runs in pool workers."""
     tracer = Tracer() if trace else None
     span_source = ensure(tracer)
+    # CompileCache writes atomically, so pool workers can share one root.
+    cache = CompileCache(cache_dir, tracer) if cache_dir else None
     start = time.perf_counter()
     with span_source.span("fuzz.unit", seed=seed) as sp:
         program = generate(seed, gen_config)
@@ -84,6 +92,7 @@ def _fuzz_unit(
                 configs=default_configs(config_names),
                 tracer=tracer,
                 max_cycles=max_cycles,
+                cache=cache,
             )
         except Exception as exc:  # an internal crash is a finding too
             unit = FuzzUnit(
@@ -104,6 +113,8 @@ def _fuzz_unit(
             skips=[f"{s.config}: {s.reason}" for s in report.skips],
             invalid=report.invalid,
             source=None if report.ok else program.source,
+            cache_hits=report.cache_hits,
+            cache_misses=report.cache_misses,
         )
         if sp:
             sp.add(outcome="ok" if report.ok else "divergent")
@@ -117,11 +128,14 @@ def _shrink_finding(
     max_cycles: int,
     artifact_dir: str,
     shrink_budget: int,
+    cache: CompileCache | None = None,
 ):
     """Minimize one divergent program and persist the crash artifact."""
     program = generate(unit.seed, gen_config)
     configs = default_configs(config_names)
-    report = check_generated(program, configs=configs, max_cycles=max_cycles)
+    report = check_generated(
+        program, configs=configs, max_cycles=max_cycles, cache=cache
+    )
 
     # Re-checking only the configs that diverged makes each predicate
     # call several times cheaper; any still-diverging subset is a valid
@@ -134,6 +148,7 @@ def _shrink_finding(
             _with_source(program, source),
             configs=pred_configs,
             max_cycles=max_cycles,
+            cache=cache,
         )
         return candidate.invalid is None and bool(candidate.divergences)
     minimized, stats = shrink(
@@ -165,12 +180,16 @@ def run_campaign(
     max_cycles: int = 5_000_000,
     shrink_budget: int = 400,
     shrink_findings: bool = True,
+    cache_dir: str | None = None,
 ) -> FuzzResult:
     """Fuzz ``count`` programs from ``seed`` upward; returns verdicts.
 
     Divergent seeds are re-run and minimized in the driver process (the
     campaign keeps going regardless), each producing a crash-artifact
-    directory under ``artifact_dir``.
+    directory under ``artifact_dir``.  ``cache_dir`` enables a shared
+    content-addressed compile cache across workers and campaigns, which
+    makes re-running a campaign (or shrinking its findings) mostly
+    cache hits.
     """
     gen_config = gen_config or GenConfig()
     tracer = ensure(tracer)
@@ -179,7 +198,7 @@ def run_campaign(
         outcomes = scatter(
             _fuzz_unit,
             [
-                (s, gen_config, config_names, max_cycles, tracer.enabled)
+                (s, gen_config, config_names, max_cycles, tracer.enabled, cache_dir)
                 for s in range(seed, seed + count)
             ],
             jobs,
@@ -189,6 +208,9 @@ def run_campaign(
             units.append(unit)
             tracer.adopt(spans, parent="fuzz")
         artifacts = []
+        shrink_cache = (
+            CompileCache(cache_dir, tracer) if cache_dir else None
+        )
         for unit in units:
             if unit.ok or unit.invalid is not None:
                 continue
@@ -203,6 +225,7 @@ def run_campaign(
                         max_cycles,
                         artifact_dir,
                         shrink_budget,
+                        cache=shrink_cache,
                     )
                 )
         if sp:
@@ -254,6 +277,12 @@ def fuzz_main(argv: list | None = None) -> int:
         help="directory for crash artifacts (default %(default)s)",
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed compile cache shared across workers "
+        "and campaigns (default: no cache)",
+    )
+    parser.add_argument(
         "--max-stmts", type=int, default=7, help="program size knob"
     )
     parser.add_argument(
@@ -296,6 +325,7 @@ def fuzz_main(argv: list | None = None) -> int:
             artifact_dir=args.artifact_dir,
             tracer=tracer,
             shrink_findings=not args.no_shrink,
+            cache_dir=args.cache_dir,
         )
     except ValueError as exc:  # unknown config name
         print(f"novac fuzz: {exc}", file=sys.stderr)
@@ -311,11 +341,17 @@ def fuzz_main(argv: list | None = None) -> int:
     for artifact in result.artifacts:
         print(f"crash artifact: {artifact.directory}")
     summary = result.summary()
+    cache_note = (
+        f", cache {summary['cache_hits']} hits / "
+        f"{summary['cache_misses']} misses"
+        if args.cache_dir
+        else ""
+    )
     print(
         f"fuzz: {summary['ok']}/{summary['programs']} ok, "
         f"{summary['divergent']} divergent, {summary['invalid']} invalid, "
         f"{summary['skipped_configs']} config skips in "
-        f"{summary['seconds']:.1f}s (jobs={summary['jobs']})"
+        f"{summary['seconds']:.1f}s (jobs={summary['jobs']}{cache_note})"
     )
     if tracer is not None:
         if args.trace:

@@ -20,6 +20,27 @@ Legal asymmetries are *skips*, not divergences:
 - the forced-baseline configuration may spill on register-heavy
   programs, which the heuristic allocator reports by raising — the
   config is skipped rather than failed.
+
+Compilation sharing
+-------------------
+
+Compile time, not simulation, dominates a campaign (the three allocator
+configs each solve an ILP), so the oracle reuses every option-independent
+stage across the matrix instead of calling ``compile_nova`` six times:
+
+- the front end (parse → typecheck → CPS → deproc) runs once per program
+  (:func:`repro.compiler.parse_front`);
+- configs that differ only in allocator knobs re-run just the allocator
+  over the reference's virtual flowgraph
+  (:func:`repro.compiler.allocate_compilation`);
+- solver-engine configs with identical model options share one built
+  :class:`~repro.alloc.ilpmodel.AllocModel` (and, via the memoized
+  ``Model.standard_form``, one sparse-matrix conversion);
+- an optional :class:`repro.cache.CompileCache` short-circuits repeat
+  compiles entirely (shrinking re-checks the same base program many
+  times).  Cached artifacts are slim — ``alloc.model`` is dropped — so
+  the ILP constraint replay silently skips on hits; a divergence found
+  through the cache always reproduces without it.
 """
 
 from __future__ import annotations
@@ -27,7 +48,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.alloc.verify import check_solution
-from repro.compiler import Compilation, CompileOptions, compile_nova
+from repro.cache import CompileCache, frontend_fingerprint, options_fingerprint
+from repro.compiler import (
+    Compilation,
+    CompileOptions,
+    FrontEnd,
+    allocate_compilation,
+    compile_from_front,
+    parse_front,
+)
 from repro.errors import AllocError, NovaError, SimulatorError
 from repro.ilp.solve import SolveOptions
 from repro.ixp.machine import Machine
@@ -134,10 +163,88 @@ class OracleReport:
     #: the reference config itself failed: the *program* is bad, not the
     #: compiler — the generator should never produce these.
     invalid: str | None = None
+    #: compile-cache outcomes across the matrix (zero when no cache)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
         return self.invalid is None and not self.divergences
+
+
+@dataclass
+class _CompileShare:
+    """Per-program state reused across the configuration matrix."""
+
+    source: str
+    filename: str = "<fuzz>"
+    #: lazily parsed option-independent pipeline prefix
+    front: FrontEnd | None = None
+    #: compilations usable as allocator bases, by front-end fingerprint
+    bases: dict[str, Compilation] = field(default_factory=dict)
+    #: built AllocModels, by (front-end fp, model-options fp)
+    models: dict[tuple[str, str], object] = field(default_factory=dict)
+
+
+def _model_share_key(
+    options: CompileOptions, front_fp: str
+) -> tuple[str, str] | None:
+    """Key under which this config's AllocModel may be shared, or None.
+
+    Two-phase allocation mutates the model's objective and
+    rematerialization transforms the graph before modeling, so neither
+    variant can reuse (or donate) a prebuilt model.
+    """
+    alloc = options.alloc
+    if alloc.two_phase or alloc.model.remat_constants:
+        return None
+    return (front_fp, options_fingerprint(alloc.model))
+
+
+def _compile_shared(
+    config: FuzzConfig, share: _CompileShare, tracer
+) -> Compilation:
+    """Compile one config, reusing front end / flowgraph / AllocModel."""
+    options = config.options
+    fp = frontend_fingerprint(options)
+    base = share.bases.get(fp)
+    if options.run_allocator and base is not None:
+        key = _model_share_key(options, fp)
+        prebuilt = share.models.get(key) if key is not None else None
+        comp = allocate_compilation(base, options, tracer, prebuilt=prebuilt)
+    else:
+        if share.front is None:
+            share.front = parse_front(share.source, share.filename, tracer)
+        comp = compile_from_front(share.front, options, tracer)
+        share.bases.setdefault(fp, comp)
+    if options.run_allocator and comp.alloc is not None:
+        key = _model_share_key(options, fp)
+        if key is not None and comp.alloc.model is not None:
+            share.models.setdefault(key, comp.alloc.model)
+    return comp
+
+
+def _compile_config(
+    config: FuzzConfig,
+    share: _CompileShare,
+    cache: CompileCache | None,
+    tracer,
+    report: OracleReport,
+) -> Compilation:
+    """Cache lookup, then the shared compile path; stores on miss."""
+    if cache is not None:
+        cached = cache.get(share.source, config.options)
+        if cached is not None:
+            report.cache_hits += 1
+            # A cached artifact still carries the virtual flowgraph, so
+            # it can seed allocator-only recompiles for later configs.
+            share.bases.setdefault(frontend_fingerprint(config.options), cached)
+            return cached
+        report.cache_misses += 1
+    comp = _compile_shared(config, share, tracer)
+    if cache is not None:
+        cache.put(share.source, config.options, comp)
+    return comp
 
 
 def _snapshot_memory(memory: MemorySystem, physical: bool) -> dict:
@@ -221,22 +328,26 @@ def check_program(
     tracer=None,
     seed: int | None = None,
     max_cycles: int = MAX_CYCLES,
+    cache: CompileCache | None = None,
 ) -> OracleReport:
     """Differentially test one program across the config matrix.
 
     ``vectors`` is a sequence of ``{param: word}`` input dicts.  Returns
     an :class:`OracleReport`; ``report.ok`` means every configuration
     agreed with the reference on every vector (modulo legal skips).
+    ``cache`` optionally short-circuits per-config compiles with a
+    content-addressed :class:`repro.cache.CompileCache`.
     """
     configs = configs or default_configs()
     tracer = ensure(tracer)
     report = OracleReport(seed=seed)
+    share = _CompileShare(source=source)
 
     reference: list[Outcome] = []
     ref_config = configs[0]
     with tracer.span("fuzz.config", config=ref_config.name):
         try:
-            ref_comp = compile_nova(source, options=ref_config.options)
+            ref_comp = _compile_config(ref_config, share, cache, tracer, report)
         except NovaError as exc:
             report.invalid = f"reference compile failed: {exc}"
             return report
@@ -254,7 +365,7 @@ def check_program(
     for config in configs[1:]:
         with tracer.span("fuzz.config", config=config.name) as sp:
             try:
-                comp = compile_nova(source, options=config.options)
+                comp = _compile_config(config, share, cache, tracer, report)
             except NovaError as exc:
                 reason = _is_legal_skip(config, exc)
                 if reason is not None:
@@ -346,7 +457,9 @@ def _compare(
             return
 
 
-def check_generated(program, configs=None, tracer=None, max_cycles=MAX_CYCLES):
+def check_generated(
+    program, configs=None, tracer=None, max_cycles=MAX_CYCLES, cache=None
+):
     """:func:`check_program` over a :class:`repro.fuzz.gen.GenProgram`."""
     return check_program(
         program.source,
@@ -356,4 +469,5 @@ def check_generated(program, configs=None, tracer=None, max_cycles=MAX_CYCLES):
         tracer=tracer,
         seed=program.seed,
         max_cycles=max_cycles,
+        cache=cache,
     )

@@ -86,6 +86,16 @@ class Model:
         self.families: dict[str, Family] = {}
         self.constraints: list[_Constraint] = []
         self.objective: dict[int, float] = {}
+        #: bumped by every mutating call; keys the standard_form memo so
+        #: one model solved by several engines converts to matrices once.
+        self._mutations = 0
+        self._standard_cache: tuple | None = None
+
+    def __getstate__(self):
+        # The memoized matrices are cheap to rebuild and bulky to pickle.
+        state = self.__dict__.copy()
+        state["_standard_cache"] = None
+        return state
 
     # -- variables ------------------------------------------------------------
 
@@ -100,6 +110,7 @@ class Model:
         var = self.num_vars
         self.num_vars += 1
         self.var_names.append((family, key))
+        self._mutations += 1
         return var
 
     def name_of(self, var: int) -> str:
@@ -119,6 +130,7 @@ class Model:
         if sense not in ("<=", ">=", "=="):
             raise ValueError(f"bad constraint sense {sense!r}")
         self.constraints.append(_Constraint(dict(coeffs), sense, rhs, note))
+        self._mutations += 1
 
     def add_sum_eq(self, vars_: list[int], rhs: float, note: str = "") -> None:
         self.add({v: 1.0 for v in vars_}, "==", rhs, note)
@@ -131,6 +143,7 @@ class Model:
     def minimize(self, coeffs: dict[int, float]) -> None:
         for var, coef in coeffs.items():
             self.objective[var] = self.objective.get(var, 0.0) + coef
+        self._mutations += 1
 
     @property
     def objective_terms(self) -> int:
@@ -143,7 +156,17 @@ class Model:
 
         Row senses are encoded as [lb, ub] bounds on A @ x, suitable for
         :class:`scipy.optimize.LinearConstraint`.
+
+        Memoized against the mutation counter (and objective identity,
+        for code that rebinds ``objective`` wholesale): the fuzz oracle
+        solves one model under several engines, and the sparse-matrix
+        conversion is a large share of small-model solve time.  Callers
+        must treat the returned arrays as read-only.
         """
+        key = (self._mutations, id(self.objective))
+        cached = self._standard_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         rows: list[int] = []
         cols: list[int] = []
         data: list[float] = []
@@ -167,7 +190,9 @@ class Model:
         c = np.zeros(self.num_vars)
         for var, coef in self.objective.items():
             c[var] = coef
-        return c, matrix, lb, ub
+        result = (c, matrix, lb, ub)
+        self._standard_cache = (key, result)
+        return result
 
     # -- reporting --------------------------------------------------------------
 

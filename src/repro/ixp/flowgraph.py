@@ -48,19 +48,30 @@ class FlowGraph:
     # -- structure -----------------------------------------------------------
 
     def block_order(self) -> list[str]:
-        """Reverse-post-order from the entry (stable, deterministic)."""
+        """Reverse-post-order from the entry (stable, deterministic).
+
+        Iterative DFS (an explicit stack of block iterators) so deep
+        chains of blocks — fuzz-generated or unrolled programs — cannot
+        hit the Python recursion limit.  The emitted order is identical
+        to the natural recursive formulation.
+        """
         seen: set[str] = set()
         order: list[str] = []
-
-        def visit(label: str) -> None:
-            if label in seen or label not in self.blocks:
-                return
-            seen.add(label)
-            for succ in self.blocks[label].successors():
-                visit(succ)
-            order.append(label)
-
-        visit(self.entry)
+        if self.entry in self.blocks:
+            seen.add(self.entry)
+            stack = [(self.entry, iter(self.blocks[self.entry].successors()))]
+            while stack:
+                label, succs = stack[-1]
+                for succ in succs:
+                    if succ not in seen and succ in self.blocks:
+                        seen.add(succ)
+                        stack.append(
+                            (succ, iter(self.blocks[succ].successors()))
+                        )
+                        break
+                else:
+                    order.append(label)
+                    stack.pop()
         order.reverse()
         # Unreachable blocks (should not exist) go last for completeness.
         for label in self.blocks:

@@ -17,6 +17,7 @@ pseudo-instruction of the SSU form.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 from repro.ixp.banks import Bank
@@ -39,22 +40,30 @@ MAX_INLINE_IMM = 255
 # --------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operand:
     pass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Temp(Operand):
-    """A virtual register (CPS temporary)."""
+    """A virtual register (CPS temporary).
+
+    Names are interned: temporaries are dict keys throughout the
+    allocator and the simulator's register file, and interning makes
+    those lookups pointer-comparison fast.
+    """
 
     name: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", sys.intern(self.name))
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Imm(Operand):
     """An inline immediate."""
 
@@ -64,7 +73,7 @@ class Imm(Operand):
         return f"#{self.value}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhysReg(Operand):
     """A physical register: bank plus index."""
 

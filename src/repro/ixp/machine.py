@@ -22,11 +22,38 @@ Cycle costs: ALU/move/branch-not-taken 1 cycle, taken branches 2 (the
 IXP's deferred branch slot, unfilled), ``immed`` 1 (2 for constants wider
 than 16 bits), csr 3, hash 1 + unit latency, memory = issue 1 +
 space latency.
+
+Execution paths
+---------------
+
+There are two execution paths with identical semantics:
+
+- the **interpreter** (``Machine(..., decode=False)``) walks the
+  flowgraph instruction objects and re-derives everything — operand
+  kinds, bank legality, ALU dispatch — per dynamic instruction;
+- the **decoded** path (the default) first compiles the flowgraph into
+  one specialized step closure per instruction via :func:`decoded_graph`.
+  All static work — operand register keys, bound ALU/compare functions,
+  immediate widths, cycle costs, and every static legality check (ALU
+  operand/dst bank rules, transfer-bank move restriction, aggregate
+  adjacency, hash SameReg) — happens exactly once at decode time; the
+  per-instruction hot loop is a closure call over a plain dict register
+  file.  Decoded graphs are cached by flowgraph identity so repeated
+  runs (throughput benchmarks, fuzz campaigns, shrinker iterations)
+  reuse the decode.
+
+Statically-illegal instructions are decoded into *raiser* closures that
+replay the interpreter's dynamic reads and then raise the identical
+exception — decode itself never raises for an unreachable illegal
+instruction, exactly like the interpreter.
 """
 
 from __future__ import annotations
 
 import heapq
+import operator
+import sys
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -71,6 +98,21 @@ def _alu_eval(op: str, a: int, b: int | None) -> int:
     raise SimulatorError(f"unknown ALU op '{op}'")
 
 
+#: Concrete functions for each ALU op, bound into closures at decode time
+#: (must agree with :func:`_alu_eval` bit for bit).
+_ALU_FNS: dict[str, Callable[[int, int | None], int]] = {
+    "add": lambda a, b: (a + (b or 0)) & WORD_MASK,
+    "sub": lambda a, b: (a - (b or 0)) & WORD_MASK,
+    "and": lambda a, b: a & (b or 0),
+    "or": lambda a, b: a | (b or 0),
+    "xor": lambda a, b: a ^ (b or 0),
+    "shl": lambda a, b: (a << ((b or 0) & 31)) & WORD_MASK,
+    "shr": lambda a, b: (a & WORD_MASK) >> ((b or 0) & 31),
+    "not": lambda a, b: ~a & WORD_MASK,
+    "neg": lambda a, b: -a & WORD_MASK,
+}
+
+
 def _cmp_eval(op: str, a: int, b: int) -> bool:
     if op == "eq":
         return a == b
@@ -87,6 +129,16 @@ def _cmp_eval(op: str, a: int, b: int) -> bool:
     raise SimulatorError(f"unknown comparison '{op}'")
 
 
+_CMP_FNS: dict[str, Callable[[int, int], bool]] = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
 def hash48(value: int) -> int:
     """The hash unit: a deterministic 32-bit mix (stand-in for the
     IXP1200's 48-bit polynomial hash)."""
@@ -101,7 +153,13 @@ def hash48(value: int) -> int:
 
 @dataclass
 class RegisterFile:
-    """Per-thread registers, keyed by Temp name or (bank, index)."""
+    """Per-thread registers, keyed by Temp name or (bank, index).
+
+    The decoded path bypasses :meth:`read`/:meth:`write` entirely: step
+    closures address :attr:`values` directly with keys interned at decode
+    time, so the per-access ``isinstance``/``key()`` work happens once
+    per *static* instruction instead of once per *dynamic* one.
+    """
 
     physical: bool
     values: dict[object, int] = field(default_factory=dict)
@@ -141,30 +199,30 @@ def _bank_of(reg: isa.Reg) -> Bank | None:
     return reg.bank if isinstance(reg, isa.PhysReg) else None
 
 
-def _check_alu_operands(instr_name: str, ops: list[isa.Reg]) -> None:
+def _check_alu_operands(instr: isa.Instr, ops: list[isa.Reg]) -> None:
     """Enforce Figure 1: inputs from L/LD/A/B; at most one operand from
-    each of A, B, and L∪LD."""
+    each of A, B, and L∪LD.  ``instr`` is only formatted on failure."""
     banks = [b for b in (_bank_of(op) for op in ops) if b is not None]
     for bank in banks:
         if bank not in ALU_INPUT_BANKS:
             raise SimulatorError(
-                f"{instr_name}: operand bank {bank} cannot feed the ALU"
+                f"{instr}: operand bank {bank} cannot feed the ALU"
             )
     if sum(1 for b in banks if b is Bank.A) > 1:
-        raise SimulatorError(f"{instr_name}: two operands from bank A")
+        raise SimulatorError(f"{instr}: two operands from bank A")
     if sum(1 for b in banks if b is Bank.B) > 1:
-        raise SimulatorError(f"{instr_name}: two operands from bank B")
+        raise SimulatorError(f"{instr}: two operands from bank B")
     if sum(1 for b in banks if b in (Bank.L, Bank.LD)) > 1:
         raise SimulatorError(
-            f"{instr_name}: two operands from transfer banks"
+            f"{instr}: two operands from transfer banks"
         )
 
 
-def _check_alu_dst(instr_name: str, dst: isa.Reg) -> None:
+def _check_alu_dst(instr: isa.Instr, dst: isa.Reg) -> None:
     bank = _bank_of(dst)
     if bank is not None and bank not in ALU_OUTPUT_BANKS:
         raise SimulatorError(
-            f"{instr_name}: ALU result cannot go to bank {bank}"
+            f"{instr}: ALU result cannot go to bank {bank}"
         )
 
 
@@ -217,11 +275,709 @@ class RunResult:
         return iterations * payload_bytes * 8 / seconds / 1e6
 
 
+# --------------------------------------------------------------------------
+# Decode stage: flowgraph → specialized step closures
+# --------------------------------------------------------------------------
+#
+# Each instruction decodes to a *step* closure with the uniform signature
+#
+#     step(thread, clock) -> (cost, blocked)
+#
+# where ``blocked`` is None (keep running), an absolute finish time (the
+# thread sleeps until then), or the ``_YIELD`` sentinel (ctx_arb / halt:
+# yield the engine at the current clock).  Control flow is threaded
+# through ``thread.step``: every closure stores its successor (captured
+# at decode time) before returning; branch targets go through one-element
+# cells patched after all blocks decode, which handles CFG cycles.
+
+#: sentinel "blocked" value: yield the engine at the current clock
+_YIELD = object()
+
+
+class _DecodedGraph:
+    """One flowgraph compiled to closure-threaded steps."""
+
+    __slots__ = ("entry", "first_steps", "instructions")
+
+    def __init__(self, entry, first_steps, instructions):
+        self.entry = entry  # first step of the entry block
+        self.first_steps = first_steps  # block label → first step
+        self.instructions = instructions  # static instruction count
+
+
+def _intern_key(reg: isa.Reg, physical: bool) -> object:
+    """The register-file dict key ``reg`` addresses; mirrors
+    :meth:`RegisterFile.key` (including its error messages)."""
+    if isinstance(reg, isa.Temp):
+        if physical:
+            raise SimulatorError(
+                f"virtual register {reg} in physical-mode execution"
+            )
+        return sys.intern(reg.name)
+    if isinstance(reg, isa.PhysReg):
+        if not physical:
+            raise SimulatorError(
+                f"physical register {reg} in virtual-mode execution"
+            )
+        if reg.bank not in BANK_SIZES:
+            raise SimulatorError(f"register in non-register bank {reg}")
+        if not 0 <= reg.index < BANK_SIZES[reg.bank]:
+            raise SimulatorError(f"register index out of range: {reg}")
+        return (reg.bank, reg.index)
+    raise SimulatorError(f"bad register operand {reg!r}")
+
+
+def _read_spec(op, physical: bool):
+    """('imm', value, None) for immediates, else ('reg', key, undef-msg)."""
+    if isinstance(op, isa.Imm):
+        return ("imm", op.value, None)
+    return ("reg", _intern_key(op, physical), f"read of undefined register {op}")
+
+
+def _raiser(exc: BaseException, prior) -> Callable:
+    """A step for a statically-illegal instruction.
+
+    Replays the dynamic register reads the interpreter would perform
+    *before* faulting (reads have no side effects, so replaying only
+    their definedness checks is exact), then raises the decode-time
+    exception with identical type and args.
+    """
+    exc_type, exc_args = type(exc), exc.args
+    prior = tuple(prior)
+
+    def step(thread, clock):
+        rv = thread.rv
+        for key, msg in prior:
+            if key not in rv:
+                raise SimulatorError(msg)
+        raise exc_type(*exc_args)
+
+    return step
+
+
+def _decode_alu(instr: isa.Alu, physical: bool, nxt) -> Callable:
+    try:
+        _check_alu_operands(instr, instr.uses())
+        _check_alu_dst(instr, instr.dst)
+    except SimulatorError as exc:
+        return _raiser(exc, ())
+    prior: list = []
+    try:
+        a = _read_spec(instr.a, physical)
+        if a[0] == "reg":
+            prior.append((a[1], a[2]))
+        b = None
+        if instr.b is not None:
+            b = _read_spec(instr.b, physical)
+            if b[0] == "reg":
+                prior.append((b[1], b[2]))
+        fn = _ALU_FNS.get(instr.op)
+        if fn is None:
+            raise SimulatorError(f"unknown ALU op '{instr.op}'")
+        dk = _intern_key(instr.dst, physical)
+    except SimulatorError as exc:
+        return _raiser(exc, prior)
+
+    # Immediates participating in the bitwise ops can be masked at decode
+    # time (masking distributes over &, |, ^ against a masked operand);
+    # the other ops' functions mask their results, so their immediates
+    # stay raw — exactly what the interpreter computes.
+    bitwise = instr.op in ("and", "or", "xor")
+    if b is None:
+        if a[0] == "imm":
+            const = fn(a[1], None) & WORD_MASK
+
+            def step(thread, clock):
+                thread.rv[dk] = const
+                thread.step = nxt
+                return 1, None
+
+        else:
+            ak, amsg = a[1], a[2]
+
+            def step(thread, clock):
+                rv = thread.rv
+                try:
+                    value = rv[ak]
+                except KeyError:
+                    raise SimulatorError(amsg) from None
+                rv[dk] = fn(value, None)
+                thread.step = nxt
+                return 1, None
+
+    elif a[0] == "imm" and b[0] == "imm":
+        const = fn(a[1], b[1]) & WORD_MASK
+
+        def step(thread, clock):
+            thread.rv[dk] = const
+            thread.step = nxt
+            return 1, None
+
+    elif b[0] == "imm":
+        ak, amsg = a[1], a[2]
+        bv = b[1] & WORD_MASK if bitwise else b[1]
+
+        def step(thread, clock):
+            rv = thread.rv
+            try:
+                value = rv[ak]
+            except KeyError:
+                raise SimulatorError(amsg) from None
+            rv[dk] = fn(value, bv)
+            thread.step = nxt
+            return 1, None
+
+    elif a[0] == "imm":
+        av = a[1] & WORD_MASK if bitwise else a[1]
+        bk, bmsg = b[1], b[2]
+
+        def step(thread, clock):
+            rv = thread.rv
+            try:
+                value = rv[bk]
+            except KeyError:
+                raise SimulatorError(bmsg) from None
+            rv[dk] = fn(av, value)
+            thread.step = nxt
+            return 1, None
+
+    else:
+        ak, amsg = a[1], a[2]
+        bk, bmsg = b[1], b[2]
+
+        def step(thread, clock):
+            rv = thread.rv
+            try:
+                value = fn(rv[ak], rv[bk])
+            except KeyError:
+                raise SimulatorError(
+                    amsg if ak not in rv else bmsg
+                ) from None
+            rv[dk] = value
+            thread.step = nxt
+            return 1, None
+
+    return step
+
+
+def _decode_copy(instr, physical: bool, nxt, cost: int) -> Callable:
+    """Shared tail of Move/Clone decoding: src → dst at ``cost`` cycles."""
+    prior: list = []
+    try:
+        src = _read_spec(instr.src, physical)
+        if src[0] == "reg":
+            prior.append((src[1], src[2]))
+        dk = _intern_key(instr.dst, physical)
+    except SimulatorError as exc:
+        return _raiser(exc, prior)
+    if src[0] == "imm":
+        const = src[1] & WORD_MASK
+
+        def step(thread, clock):
+            thread.rv[dk] = const
+            thread.step = nxt
+            return cost, None
+
+    else:
+        sk, smsg = src[1], src[2]
+
+        def step(thread, clock):
+            rv = thread.rv
+            try:
+                value = rv[sk]
+            except KeyError:
+                raise SimulatorError(smsg) from None
+            rv[dk] = value
+            thread.step = nxt
+            return cost, None
+
+    return step
+
+
+def _decode_move(instr: isa.Move, physical: bool, nxt) -> Callable:
+    try:
+        _check_alu_operands(instr, [instr.src])
+        _check_alu_dst(instr, instr.dst)
+        src_bank = _bank_of(instr.src)
+        dst_bank = _bank_of(instr.dst)
+        if (
+            src_bank is not None
+            and src_bank == dst_bank
+            and src_bank in (Bank.L, Bank.S, Bank.LD, Bank.SD)
+            and instr.src != instr.dst
+        ):
+            raise SimulatorError(
+                f"{instr}: no datapath within transfer bank {src_bank}"
+            )
+    except SimulatorError as exc:
+        return _raiser(exc, ())
+    return _decode_copy(instr, physical, nxt, 1)
+
+
+def _decode_clone(instr: isa.Clone, physical: bool, nxt) -> Callable:
+    if physical:
+        return _raiser(
+            SimulatorError("clone instruction survived register allocation"),
+            (),
+        )
+    return _decode_copy(instr, physical, nxt, 0)
+
+
+def _decode_immed(instr: isa.Immed, physical: bool, nxt) -> Callable:
+    try:
+        _check_alu_dst(instr, instr.dst)
+        dk = _intern_key(instr.dst, physical)
+    except SimulatorError as exc:
+        return _raiser(exc, ())
+    const = instr.value & WORD_MASK
+    cost = 1 if 0 <= instr.value < (1 << 16) else 2
+
+    def step(thread, clock):
+        thread.rv[dk] = const
+        thread.step = nxt
+        return cost, None
+
+    return step
+
+
+def _interp_mem(instr: isa.MemOp, nxt) -> Callable:
+    """Fallback for memory ops the interpreter faults on *midway* through
+    its side effects (``space.issue`` runs before register-key errors):
+    delegate to the interpreter for exact behaviour."""
+
+    def step(thread, clock):
+        cost, blocked = thread.machine._execute_mem(thread, instr, clock)
+        thread.step = nxt
+        return cost, blocked
+
+    return step
+
+
+def _decode_mem(instr: isa.MemOp, physical: bool, nxt) -> Callable:
+    try:
+        _check_aggregate(instr)
+        if instr.space == "rfifo" and instr.direction == "write":
+            raise SimulatorError("the receive FIFO is read-only")
+        if instr.space == "tfifo" and instr.direction == "read":
+            raise SimulatorError("the transmit FIFO is write-only")
+    except (SimulatorError, KeyError) as exc:
+        # KeyError: _check_aggregate indexes READ_BANK/WRITE_BANK before
+        # the fifo-direction guards; replicate the exact exception.
+        return _raiser(exc, ())
+    try:
+        addr = _read_spec(instr.addr, physical)
+        reg_keys = []
+        undef = {}
+        for reg in instr.regs:
+            key = _intern_key(reg, physical)
+            reg_keys.append(key)
+            undef[key] = f"read of undefined register {reg}"
+    except SimulatorError:
+        return _interp_mem(instr, nxt)
+    reg_keys = tuple(reg_keys)
+    n = len(reg_keys)
+    space_name = instr.space
+    if instr.direction == "read":
+        if addr[0] == "imm":
+            addr_const = addr[1]
+
+            def step(thread, clock):
+                space = thread.machine.memory[space_name]
+                finish = space.issue(clock + 1, n)
+                values = space.read(addr_const, n)
+                rv = thread.rv
+                for key, value in zip(reg_keys, values):
+                    rv[key] = value
+                thread.step = nxt
+                return 1, finish
+
+        else:
+            ak, amsg = addr[1], addr[2]
+
+            def step(thread, clock):
+                space = thread.machine.memory[space_name]
+                rv = thread.rv
+                try:
+                    addr_value = rv[ak]
+                except KeyError:
+                    raise SimulatorError(amsg) from None
+                finish = space.issue(clock + 1, n)
+                values = space.read(addr_value, n)
+                for key, value in zip(reg_keys, values):
+                    rv[key] = value
+                thread.step = nxt
+                return 1, finish
+
+    else:
+        if addr[0] == "imm":
+            addr_const = addr[1]
+
+            def step(thread, clock):
+                space = thread.machine.memory[space_name]
+                rv = thread.rv
+                finish = space.issue(clock + 1, n)
+                try:
+                    values = [rv[key] for key in reg_keys]
+                except KeyError as exc:
+                    raise SimulatorError(undef[exc.args[0]]) from None
+                space.write(addr_const, values)
+                thread.step = nxt
+                return 1, finish
+
+        else:
+            ak, amsg = addr[1], addr[2]
+
+            def step(thread, clock):
+                space = thread.machine.memory[space_name]
+                rv = thread.rv
+                try:
+                    addr_value = rv[ak]
+                except KeyError:
+                    raise SimulatorError(amsg) from None
+                finish = space.issue(clock + 1, n)
+                try:
+                    values = [rv[key] for key in reg_keys]
+                except KeyError as exc:
+                    raise SimulatorError(undef[exc.args[0]]) from None
+                space.write(addr_value, values)
+                thread.step = nxt
+                return 1, finish
+
+    return step
+
+
+def _decode_hash(instr: isa.HashInstr, physical: bool, nxt) -> Callable:
+    try:
+        src_bank, dst_bank = _bank_of(instr.src), _bank_of(instr.dst)
+        if src_bank is not None:
+            if src_bank is not Bank.S or dst_bank is not Bank.L:
+                raise SimulatorError(f"{instr}: hash reads S and writes L")
+            if instr.src.index != instr.dst.index:
+                raise SimulatorError(
+                    f"{instr}: hash dst/src must share a register "
+                    "number (SameReg)"
+                )
+    except SimulatorError as exc:
+        return _raiser(exc, ())
+    prior: list = []
+    try:
+        src = _read_spec(instr.src, physical)
+        if src[0] == "reg":
+            prior.append((src[1], src[2]))
+        dk = _intern_key(instr.dst, physical)
+    except SimulatorError as exc:
+        return _raiser(exc, prior)
+    cost = 1 + HASH_LATENCY
+    if src[0] == "imm":
+        const = hash48(src[1])
+
+        def step(thread, clock):
+            thread.rv[dk] = const
+            thread.step = nxt
+            return cost, None
+
+    else:
+        sk, smsg = src[1], src[2]
+
+        def step(thread, clock):
+            rv = thread.rv
+            try:
+                value = rv[sk]
+            except KeyError:
+                raise SimulatorError(smsg) from None
+            rv[dk] = hash48(value)
+            thread.step = nxt
+            return cost, None
+
+    return step
+
+
+def _decode_csr_rd(instr: isa.CsrRd, physical: bool, nxt) -> Callable:
+    try:
+        dk = _intern_key(instr.dst, physical)
+    except SimulatorError as exc:
+        return _raiser(exc, ())
+    csr = instr.csr
+
+    def step(thread, clock):
+        thread.rv[dk] = thread.machine.csrs.get(csr, 0) & WORD_MASK
+        thread.step = nxt
+        return 3, None
+
+    return step
+
+
+def _decode_csr_wr(instr: isa.CsrWr, physical: bool, nxt) -> Callable:
+    try:
+        src = _read_spec(instr.src, physical)
+    except SimulatorError as exc:
+        return _raiser(exc, ())
+    csr = instr.csr
+    if src[0] == "imm":
+        const = src[1]
+
+        def step(thread, clock):
+            thread.machine.csrs[csr] = const
+            thread.step = nxt
+            return 3, None
+
+    else:
+        sk, smsg = src[1], src[2]
+
+        def step(thread, clock):
+            try:
+                value = thread.rv[sk]
+            except KeyError:
+                raise SimulatorError(smsg) from None
+            thread.machine.csrs[csr] = value
+            thread.step = nxt
+            return 3, None
+
+    return step
+
+
+def _decode_ctx_arb(instr: isa.CtxArb, physical: bool, nxt) -> Callable:
+    def step(thread, clock):
+        thread.step = nxt
+        return 1, _YIELD
+
+    return step
+
+
+def _decode_lock(instr: isa.LockInstr, physical: bool, nxt) -> Callable:
+    number = instr.number
+    if instr.kind == "lock":
+
+        def step(thread, clock):
+            locks = thread.machine.locks
+            holder = locks.get(number)
+            if holder is None:
+                locks[number] = thread.tid
+                thread.step = nxt
+                return 1, None
+            if holder == thread.tid:
+                raise SimulatorError(
+                    f"thread {thread.tid} re-acquiring lock {number}"
+                )
+            # Spin: thread.step stays on this instruction for the retry.
+            return 1, clock + 4
+
+    else:
+
+        def step(thread, clock):
+            locks = thread.machine.locks
+            holder = locks.get(number)
+            if holder != thread.tid:
+                raise SimulatorError(
+                    f"thread {thread.tid} unlocking lock {number} held "
+                    f"by {holder}"
+                )
+            del locks[number]
+            thread.step = nxt
+            return 1, None
+
+    return step
+
+
+def _decode_br(instr: isa.Br, cells) -> Callable:
+    cell = cells[instr.target]
+
+    def step(thread, clock):
+        thread.step = cell[0]
+        return 2, None
+
+    return step
+
+
+def _decode_br_cmp(instr: isa.BrCmp, physical: bool, cells) -> Callable:
+    try:
+        _check_alu_operands(instr, instr.uses())
+    except SimulatorError as exc:
+        return _raiser(exc, ())
+    prior: list = []
+    try:
+        a = _read_spec(instr.a, physical)
+        if a[0] == "reg":
+            prior.append((a[1], a[2]))
+        b = _read_spec(instr.b, physical)
+        if b[0] == "reg":
+            prior.append((b[1], b[2]))
+        fn = _CMP_FNS.get(instr.cmp)
+        if fn is None:
+            raise SimulatorError(f"unknown comparison '{instr.cmp}'")
+    except SimulatorError as exc:
+        return _raiser(exc, prior)
+    tcell = cells[instr.then_target]
+    ecell = cells[instr.else_target]
+    # Comparison operands stay raw (the interpreter compares the raw
+    # immediate against the masked register value).
+    if a[0] == "imm" and b[0] == "imm":
+        target = tcell if fn(a[1], b[1]) else ecell
+
+        def step(thread, clock):
+            thread.step = target[0]
+            return 2, None
+
+    elif b[0] == "imm":
+        ak, amsg = a[1], a[2]
+        bv = b[1]
+
+        def step(thread, clock):
+            try:
+                taken = fn(thread.rv[ak], bv)
+            except KeyError:
+                raise SimulatorError(amsg) from None
+            thread.step = tcell[0] if taken else ecell[0]
+            return 2, None
+
+    elif a[0] == "imm":
+        av = a[1]
+        bk, bmsg = b[1], b[2]
+
+        def step(thread, clock):
+            try:
+                taken = fn(av, thread.rv[bk])
+            except KeyError:
+                raise SimulatorError(bmsg) from None
+            thread.step = tcell[0] if taken else ecell[0]
+            return 2, None
+
+    else:
+        ak, amsg = a[1], a[2]
+        bk, bmsg = b[1], b[2]
+
+        def step(thread, clock):
+            rv = thread.rv
+            try:
+                taken = fn(rv[ak], rv[bk])
+            except KeyError:
+                raise SimulatorError(
+                    amsg if ak not in rv else bmsg
+                ) from None
+            thread.step = tcell[0] if taken else ecell[0]
+            return 2, None
+
+    return step
+
+
+def _decode_halt(instr: isa.HaltInstr, physical: bool) -> Callable:
+    specs: list = []
+    prior: list = []
+    try:
+        for result in instr.results:
+            spec = _read_spec(result, physical)
+            if spec[0] == "reg":
+                specs.append((True, spec[1], spec[2]))
+                prior.append((spec[1], spec[2]))
+            else:
+                specs.append((False, spec[1], None))
+    except SimulatorError as exc:
+        return _raiser(exc, prior)
+    specs = tuple(specs)
+
+    def step(thread, clock):
+        rv = thread.rv
+        values = []
+        for is_reg, payload, msg in specs:
+            if is_reg:
+                try:
+                    values.append(rv[payload])
+                except KeyError:
+                    raise SimulatorError(msg) from None
+            else:
+                values.append(payload)
+        thread.machine.results.append((thread.tid, tuple(values)))
+        thread.stats.iterations += 1
+        thread.iteration += 1
+        thread.restart()
+        return 1, _YIELD
+
+    return step
+
+
+def _decode_instr(instr: isa.Instr, physical: bool, nxt, cells) -> Callable:
+    if isinstance(instr, isa.Alu):
+        step = _decode_alu(instr, physical, nxt)
+    elif isinstance(instr, isa.Move):
+        step = _decode_move(instr, physical, nxt)
+    elif isinstance(instr, isa.Clone):
+        step = _decode_clone(instr, physical, nxt)
+    elif isinstance(instr, isa.Immed):
+        step = _decode_immed(instr, physical, nxt)
+    elif isinstance(instr, isa.MemOp):
+        step = _decode_mem(instr, physical, nxt)
+    elif isinstance(instr, isa.HashInstr):
+        step = _decode_hash(instr, physical, nxt)
+    elif isinstance(instr, isa.CsrRd):
+        step = _decode_csr_rd(instr, physical, nxt)
+    elif isinstance(instr, isa.CsrWr):
+        step = _decode_csr_wr(instr, physical, nxt)
+    elif isinstance(instr, isa.CtxArb):
+        step = _decode_ctx_arb(instr, physical, nxt)
+    elif isinstance(instr, isa.LockInstr):
+        step = _decode_lock(instr, physical, nxt)
+    elif isinstance(instr, isa.Br):
+        step = _decode_br(instr, cells)
+    elif isinstance(instr, isa.BrCmp):
+        step = _decode_br_cmp(instr, physical, cells)
+    elif isinstance(instr, isa.HaltInstr):
+        step = _decode_halt(instr, physical)
+    else:
+        step = _raiser(
+            SimulatorError(f"unhandled instruction {instr!r}"), ()
+        )
+    step.opcode = _opcode_of(instr)
+    return step
+
+
+def _decode_blocks(graph: FlowGraph, physical: bool) -> _DecodedGraph:
+    # Branch targets resolve through one-element cells patched after all
+    # blocks decode, so CFG cycles need no special ordering.
+    cells: dict[str, list] = {label: [None] for label in graph.blocks}
+    first_steps: dict[str, Callable] = {}
+    count = 0
+    for label, block in graph.blocks.items():
+        step = None
+        for instr in reversed(block.instrs):
+            step = _decode_instr(instr, physical, step, cells)
+            count += 1
+        first_steps[label] = step
+        cells[label][0] = step
+    return _DecodedGraph(first_steps[graph.entry], first_steps, count)
+
+
+#: (id(graph), physical) → decoded program.  Entries evict when the graph
+#: is garbage collected (weakref.finalize), so id() reuse cannot alias.
+#: Kept off the FlowGraph itself: closures don't pickle, and compilation
+#: artifacts carrying the graph are cached with pickle.
+_DECODED: dict[tuple[int, bool], _DecodedGraph] = {}
+
+
+def decoded_graph(graph: FlowGraph, physical: bool, tracer=None) -> _DecodedGraph:
+    """Decode ``graph`` into step closures, once per (graph, mode)."""
+    key = (id(graph), bool(physical))
+    cached = _DECODED.get(key)
+    if cached is not None:
+        return cached
+    tracer = ensure(tracer)
+    with tracer.span("simulate.decode", physical=int(bool(physical))) as sp:
+        graph.validate()
+        decoded = _decode_blocks(graph, bool(physical))
+        if sp:
+            sp.add(blocks=len(graph.blocks), instructions=decoded.instructions)
+    _DECODED[key] = decoded
+    weakref.finalize(graph, _DECODED.pop, key, None)
+    return decoded
+
+
 class _Thread:
     def __init__(self, tid: int, machine: "Machine"):
         self.tid = tid
         self.machine = machine
         self.regs = RegisterFile(machine.physical)
+        self.rv = self.regs.values  # the decoded path's register dict
+        decoded = machine.decoded
+        self.step = decoded.entry if decoded is not None else None
         self.block = machine.graph.entry
         self.index = 0
         self.ready_at = 0
@@ -230,18 +986,21 @@ class _Thread:
         self.iteration = 0
 
     def restart(self) -> bool:
-        inputs = self.machine.input_provider(self.tid, self.iteration)
+        machine = self.machine
+        inputs = machine.input_provider(self.tid, self.iteration)
         if inputs is None:
             self.done = True
             return False
-        self.regs = RegisterFile(self.machine.physical)
+        self.regs = RegisterFile(machine.physical)
+        values = self.regs.values
         for name, value in inputs.items():
-            if self.machine.physical:
-                self.regs.values[name] = value & WORD_MASK
-            else:
-                self.regs.values[name] = value & WORD_MASK
-        self.block = self.machine.graph.entry
+            values[name] = value & WORD_MASK
+        self.rv = values
+        self.block = machine.graph.entry
         self.index = 0
+        decoded = machine.decoded
+        if decoded is not None:
+            self.step = decoded.entry
         return True
 
 
@@ -257,6 +1016,7 @@ class Machine:
         input_provider: Callable[[int, int], dict | None] | None = None,
         max_cycles: int = 50_000_000,
         tracer=None,
+        decode: bool = True,
     ):
         graph.validate()
         self.graph = graph
@@ -270,6 +1030,9 @@ class Machine:
         if physical is None:
             physical = _guess_physical(graph)
         self.physical = physical
+        self.decoded = (
+            decoded_graph(graph, physical, self.tracer) if decode else None
+        )
         self.input_provider = input_provider or (
             lambda tid, it: {} if it == 0 else None
         )
@@ -283,6 +1046,11 @@ class Machine:
     # -- execution ------------------------------------------------------------
 
     def run(self) -> RunResult:
+        run_thread = (
+            self._run_thread_decoded
+            if self.decoded is not None
+            else self._run_thread
+        )
         with self.tracer.span("simulate") as sp:
             clock = 0
             ready: list[tuple[int, int, int]] = []  # (ready_at, tid, seq)
@@ -295,7 +1063,7 @@ class Machine:
                 ready_at, tid, _ = heapq.heappop(ready)
                 clock = max(clock, ready_at)
                 thread = self.threads[tid]
-                clock = self._run_thread(thread, clock)
+                clock = run_thread(thread, clock)
                 if clock > self.max_cycles:
                     raise SimulatorError(
                         f"simulation exceeded {self.max_cycles} cycles"
@@ -325,6 +1093,33 @@ class Machine:
         entry = self._opcode_hist.setdefault(_opcode_of(instr), [0, 0])
         entry[0] += 1
         entry[1] += cost
+
+    def _run_thread_decoded(self, thread: _Thread, clock: int) -> int:
+        """Closure-threaded twin of :meth:`_run_thread` — the hot loop."""
+        hist = self._opcode_hist
+        max_cycles = self.max_cycles
+        stats = thread.stats
+        while True:
+            step = thread.step
+            stats.instructions += 1
+            cost, blocked = step(thread, clock)
+            if hist is not None:
+                entry = hist.setdefault(step.opcode, [0, 0])
+                entry[0] += 1
+                entry[1] += cost
+            clock += cost
+            if clock > max_cycles:
+                raise SimulatorError(
+                    f"simulation exceeded {max_cycles} cycles"
+                )
+            if blocked is not None:
+                if blocked is _YIELD:
+                    thread.ready_at = clock
+                    return clock
+                thread.ready_at = blocked
+                if blocked > clock:
+                    stats.mem_stall_cycles += blocked - clock
+                return clock
 
     def _run_thread(self, thread: _Thread, clock: int) -> int:
         """Run until the thread blocks, halts, or yields; returns clock."""
@@ -360,16 +1155,16 @@ class Machine:
         """Execute one instruction; returns (cycle cost, blocked-until)."""
         regs = thread.regs
         if isinstance(instr, isa.Alu):
-            _check_alu_operands(str(instr), instr.uses())
-            _check_alu_dst(str(instr), instr.dst)
+            _check_alu_operands(instr, instr.uses())
+            _check_alu_dst(instr, instr.dst)
             a = regs.read(instr.a)
             b = regs.read(instr.b) if instr.b is not None else None
             regs.write(instr.dst, _alu_eval(instr.op, a, b))
             self._advance(thread)
             return 1, None
         if isinstance(instr, isa.Move):
-            _check_alu_operands(str(instr), [instr.src])
-            _check_alu_dst(str(instr), instr.dst)
+            _check_alu_operands(instr, [instr.src])
+            _check_alu_dst(instr, instr.dst)
             src_bank = _bank_of(instr.src)
             dst_bank = _bank_of(instr.dst)
             if (
@@ -395,7 +1190,7 @@ class Machine:
             self._advance(thread)
             return 0, None
         if isinstance(instr, isa.Immed):
-            _check_alu_dst(str(instr), instr.dst)
+            _check_alu_dst(instr, instr.dst)
             regs.write(instr.dst, instr.value)
             self._advance(thread)
             return 1 if 0 <= instr.value < (1 << 16) else 2, None
@@ -436,7 +1231,7 @@ class Machine:
             thread.index = 0
             return 2, None
         if isinstance(instr, isa.BrCmp):
-            _check_alu_operands(str(instr), instr.uses())
+            _check_alu_operands(instr, instr.uses())
             a = regs.read(instr.a)
             b = regs.read(instr.b)
             taken = _cmp_eval(instr.cmp, a, b)
@@ -542,6 +1337,7 @@ def run_virtual(
     memory: MemorySystem | None = None,
     iterations: int = 1,
     threads: int = 1,
+    decode: bool = True,
 ) -> RunResult:
     """Convenience: run a virtual-register flowgraph a fixed number of
     iterations per thread with constant inputs."""
@@ -557,5 +1353,6 @@ def run_virtual(
         threads=threads,
         physical=False,
         input_provider=provider,
+        decode=decode,
     )
     return machine.run()

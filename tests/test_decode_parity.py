@@ -1,0 +1,213 @@
+"""Decoded-vs-interpreter parity: decode must be observationally invisible.
+
+The pre-decoded closure path (``Machine(decode=True)``, the default) and
+the reference interpreter (``decode=False``) must agree *bit for bit* —
+same cycles, halt values, per-thread stats, final memory images, raised
+``SimulatorError`` messages, and (under tracing) per-opcode histograms —
+on every program: the curated semantic cases, the fuzz reproducers, and
+freshly generated fuzz programs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_nova
+from repro.errors import SimulatorError
+from repro.fuzz.gen import GenConfig, generate
+from repro.ixp import isa
+from repro.ixp.banks import Bank
+from repro.ixp.flowgraph import Block, FlowGraph
+from repro.ixp.machine import Machine
+from repro.trace import Tracer
+
+from tests.helpers import compile_full, compile_virtual, make_memory
+from tests.programs import CASES
+from tests.test_reproducers import CASES as REPRO_CASES, REPRODUCERS
+
+#: cases whose physical compile is exercised here (full ILP solves are
+#: the expensive part; virtual parity below covers every case)
+PHYSICAL_CASES = [c.name for c in CASES[:8]]
+
+
+def _snapshot(memory) -> dict:
+    return {
+        space: {a: w for a, w in memory[space].words.items() if w != 0}
+        for space in ("sram", "sdram", "scratch")
+    }
+
+
+def _observe(comp, physical, raw_inputs, memory_image, decode, tracer=None):
+    """Run one compilation and return every observable as plain data."""
+    memory = make_memory(memory_image)
+    if physical:
+        graph = comp.physical
+        locations = comp.alloc.decoded.input_locations
+        inputs: dict = {}
+        for temp, value in raw_inputs.items():
+            loc = locations.get(temp)
+            if loc is None:
+                continue
+            kind, where = loc
+            if kind == "reg":
+                inputs[(where.bank, where.index)] = value
+            else:
+                memory["scratch"].load_words(where, [value])
+    else:
+        graph, inputs = comp.flowgraph, raw_inputs
+    machine = Machine(
+        graph,
+        memory=memory,
+        threads=1,
+        physical=physical,
+        input_provider=lambda tid, it: dict(inputs) if it == 0 else None,
+        max_cycles=5_000_000,
+        decode=decode,
+        tracer=tracer,
+    )
+    try:
+        run = machine.run()
+    except SimulatorError as exc:
+        return {"error": str(exc)}
+    return {
+        "run": dataclasses.asdict(run),
+        "memory": _snapshot(memory),
+    }
+
+
+def _assert_parity(comp, physical, raw_inputs, memory_image=None):
+    decoded = _observe(comp, physical, raw_inputs, memory_image, True)
+    interp = _observe(comp, physical, raw_inputs, memory_image, False)
+    assert decoded == interp
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_virtual_parity(case):
+    comp = compile_virtual(case.source)
+    memory_image = {s: list(chunks) for s, chunks in case.memory.items()}
+    _assert_parity(comp, False, comp.make_inputs(**case.inputs), memory_image)
+
+
+@pytest.mark.parametrize("name", PHYSICAL_CASES)
+def test_physical_parity(name):
+    case = next(c for c in CASES if c.name == name)
+    comp = compile_full(case.source)
+    memory_image = {s: list(chunks) for s, chunks in case.memory.items()}
+    _assert_parity(comp, True, comp.make_inputs(**case.inputs), memory_image)
+
+
+@pytest.mark.parametrize("name", sorted(REPRO_CASES))
+def test_reproducer_parity(name):
+    _, vectors, memory_image = REPRO_CASES[name]
+    source = (REPRODUCERS / name).read_text()
+    virtual = compile_virtual(source)
+    physical = compile_full(source)
+    for vector in vectors:
+        _assert_parity(virtual, False, virtual.make_inputs(**vector), memory_image)
+        _assert_parity(physical, True, physical.make_inputs(**vector), memory_image)
+
+
+def test_fuzz_smoke_parity_25_seeds():
+    """Bit-identical RunResults on generated programs, both paths."""
+    for seed in range(25):
+        program = generate(seed, GenConfig())
+        comp = compile_virtual(program.source)
+        for vector in program.vectors:
+            _assert_parity(
+                comp, False, comp.make_inputs(**vector), program.memory_image
+            )
+
+
+def _histogram(tracer) -> dict:
+    for span in tracer.spans:
+        if span.name == "simulate":
+            return {
+                k: v
+                for k, v in span.counters.items()
+                if k.startswith(("count.", "cycles."))
+            }
+    raise AssertionError("no simulate span recorded")
+
+
+def test_opcode_histogram_equality_under_tracing():
+    case = CASES[0]
+    comp = compile_virtual(case.source)
+    raw = comp.make_inputs(**case.inputs)
+    traces = {}
+    for decode in (True, False):
+        tracer = Tracer()
+        _observe(comp, False, raw, None, decode, tracer=tracer)
+        traces[decode] = tracer
+    decoded_hist = _histogram(traces[True])
+    assert decoded_hist == _histogram(traces[False])
+    assert decoded_hist, "tracing should record per-opcode counters"
+    assert any(
+        span.name == "simulate.decode" for span in traces[True].spans
+    ), "decoding under a tracer must emit a simulate.decode span"
+    assert not any(
+        span.name == "simulate.decode" for span in traces[False].spans
+    )
+
+
+def _trap_graph():
+    return FlowGraph(
+        "entry",
+        {
+            "entry": Block(
+                "entry",
+                [
+                    isa.Immed(isa.PhysReg(Bank.A, 0), 1),
+                    isa.Immed(isa.PhysReg(Bank.A, 1), 2),
+                    isa.Alu(
+                        isa.PhysReg(Bank.A, 2),
+                        "add",
+                        isa.PhysReg(Bank.A, 0),
+                        isa.PhysReg(Bank.A, 1),
+                    ),
+                    isa.HaltInstr(()),
+                ],
+            )
+        },
+        (),
+    )
+
+
+def test_error_message_parity():
+    messages = {}
+    for decode in (True, False):
+        with pytest.raises(SimulatorError) as exc_info:
+            Machine(_trap_graph(), physical=True, decode=decode).run()
+        messages[decode] = str(exc_info.value)
+    assert messages[True] == messages[False]
+    assert "two operands from bank A" in messages[True]
+
+
+def test_unreached_illegal_instruction_does_not_trap_at_decode():
+    """Static checks move to decode time, but failures stay lazy: an
+    illegal instruction that never executes must not raise."""
+    graph = FlowGraph(
+        "entry",
+        {
+            "entry": Block(
+                "entry",
+                [isa.Immed(isa.PhysReg(Bank.A, 0), 7), isa.Br("good")],
+            ),
+            "bad": Block(
+                "bad",
+                [
+                    isa.Alu(
+                        isa.PhysReg(Bank.A, 2),
+                        "add",
+                        isa.PhysReg(Bank.A, 0),
+                        isa.PhysReg(Bank.A, 1),
+                    ),
+                    isa.HaltInstr(()),
+                ],
+            ),
+            "good": Block("good", [isa.HaltInstr((isa.PhysReg(Bank.A, 0),))]),
+        },
+        (),
+    )
+    for decode in (True, False):
+        machine = Machine(graph, physical=True, decode=decode)
+        assert machine.run().results == [(0, (7,))]

@@ -169,8 +169,14 @@ class TestCycleModel:
         assert four.cycles < one.cycles * 4
 
 
+@pytest.fixture(params=[True, False], ids=["decoded", "interp"])
+def decode(request):
+    """Run datapath-check tests under both execution paths."""
+    return request.param
+
+
 class TestPhysicalChecks:
-    def test_legal_alu(self):
+    def test_legal_alu(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 1),
@@ -179,9 +185,10 @@ class TestPhysicalChecks:
                 isa.HaltInstr((P(Bank.A, 1),)),
             ]
         )
-        assert Machine(graph, physical=True).run().results == [(0, (3,))]
+        machine = Machine(graph, physical=True, decode=decode)
+        assert machine.run().results == [(0, (3,))]
 
-    def test_two_operands_same_bank_trap(self):
+    def test_two_operands_same_bank_trap(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 1),
@@ -191,9 +198,9 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="two operands from bank A"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_two_transfer_operands_trap(self):
+    def test_two_transfer_operands_trap(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 0),
@@ -204,9 +211,9 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="transfer banks"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_alu_result_to_read_bank_traps(self):
+    def test_alu_result_to_read_bank_traps(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 1),
@@ -215,9 +222,9 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="cannot go to bank"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_move_within_transfer_bank_traps(self):
+    def test_move_within_transfer_bank_traps(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 0),
@@ -227,9 +234,9 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="cannot go to bank"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_aggregate_must_be_adjacent(self):
+    def test_aggregate_must_be_adjacent(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 0),
@@ -240,9 +247,9 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="adjacent"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_aggregate_wrong_bank_traps(self):
+    def test_aggregate_wrong_bank_traps(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 0),
@@ -251,9 +258,9 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="not in bank"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_address_from_transfer_bank_traps(self):
+    def test_address_from_transfer_bank_traps(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 0),
@@ -263,9 +270,9 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="address"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_hash_same_register_number_enforced(self):
+    def test_hash_same_register_number_enforced(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.S, 2), 1),
@@ -274,14 +281,14 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="SameReg"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_register_index_bounds(self):
+    def test_register_index_bounds(self, decode):
         graph = graph_of([isa.Immed(P(Bank.A, 16), 1), isa.HaltInstr(())])
         with pytest.raises(SimulatorError, match="out of range"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
-    def test_clone_must_not_survive_allocation(self):
+    def test_clone_must_not_survive_allocation(self, decode):
         graph = graph_of(
             [
                 isa.Immed(P(Bank.A, 0), 1),
@@ -290,7 +297,7 @@ class TestPhysicalChecks:
             ]
         )
         with pytest.raises(SimulatorError, match="clone"):
-            Machine(graph, physical=True).run()
+            Machine(graph, physical=True, decode=decode).run()
 
 
 class TestMemorySystem:
