@@ -1,0 +1,82 @@
+"""CI net smoke: read BENCH_net.json and fail on streaming regressions.
+
+Run after ``pytest benchmarks/test_net_throughput.py`` has refreshed the
+``results`` block::
+
+    PYTHONPATH=src python benchmarks/net_smoke.py
+
+Checks (all on *simulated* cycles, so they are machine-independent):
+
+- every packet of every recorded run validated against the reference
+  implementation (zero mismatches) and none were dropped (the benchmark
+  config sizes the RX ring to the whole backlog);
+- 4-engine throughput is at least MIN_SCALING x the 1-engine run on at
+  least MIN_SCALING_APPS of the three applications (AES and Kasumi are
+  SRAM-table-bound, so perfect 4x is not expected — the paper's own
+  Section 11 contention point);
+- no app's scaling collapsed below the recorded baseline by more than
+  SCALING_SLACK (an absolute ratio drop, catching e.g. a ring or port
+  model change that serializes the engines).
+"""
+
+import json
+import pathlib
+import sys
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_net.json"
+
+MIN_SCALING = 2.5
+MIN_SCALING_APPS = 2
+SCALING_SLACK = 0.5
+
+
+def main() -> int:
+    if not BENCH_FILE.exists():
+        print(f"net_smoke: {BENCH_FILE} missing — run "
+              "`pytest benchmarks/test_net_throughput.py` first",
+              file=sys.stderr)
+        return 2
+    data = json.loads(BENCH_FILE.read_text())
+    results = data.get("results", {})
+    baseline = data.get("baseline", {})
+    if not results:
+        print("net_smoke: no results recorded", file=sys.stderr)
+        return 2
+
+    failures = []
+    header = (f"{'app':<8} {'cyc 1e':>10} {'cyc 4e':>10} {'mbps 4e':>10} "
+              f"{'scaling':>8} {'mism':>5}")
+    print(header)
+    print("-" * len(header))
+    scaled = 0
+    for app, row in sorted(results.items()):
+        scaling = row["scaling"]
+        print(f"{app:<8} {row['cycles_1e']:>10,} {row['cycles_4e']:>10,} "
+              f"{row['mbps_4e']:>10,.1f} {scaling:>7.2f}x "
+              f"{row['mismatches']:>5}")
+        if row["mismatches"]:
+            failures.append(f"{app}: {row['mismatches']} reference mismatches")
+        if row["dropped"]:
+            failures.append(f"{app}: {row['dropped']} drops in no-drop config")
+        if scaling >= MIN_SCALING:
+            scaled += 1
+        base = baseline.get(app, {}).get("scaling")
+        if base is not None and scaling < base - SCALING_SLACK:
+            failures.append(
+                f"{app}: scaling {scaling:.2f}x fell more than "
+                f"{SCALING_SLACK} below recorded baseline {base:.2f}x"
+            )
+    if scaled < MIN_SCALING_APPS:
+        failures.append(
+            f"only {scaled} app(s) reached {MIN_SCALING}x 4-engine scaling "
+            f"(need {MIN_SCALING_APPS})"
+        )
+    for failure in failures:
+        print(f"net_smoke: FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print("net_smoke: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

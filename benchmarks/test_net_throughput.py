@@ -1,0 +1,138 @@
+"""Multi-engine streaming throughput: 1 engine vs 4 (paper Section 11).
+
+The paper reports line-card throughput with worker micro-engines pulling
+packets from the receive rings; the compiled code's quality shows up as
+how many engines' worth of service rate the stream sustains.  This
+benchmark drives each allocated application (AES, Kasumi, NAT) through
+``repro.ixp.net`` with a saturating backlog (RX ring sized to the whole
+stream, so queueing — not drops — absorbs the burst) on 1 and on 4
+engines and records cycles, throughput and latency percentiles to
+``BENCH_net.json`` at the repo root.  ``benchmarks/net_smoke.py`` reads
+that file in CI and fails on scaling/validation regressions.
+
+Everything here is *simulated* time, so the numbers are deterministic
+for a given allocation — the scaling ratio is a property of the code and
+the memory-port model, not of the host machine.
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.ixp.net import NetConfig, run_stream, stream_app
+
+from benchmarks.conftest import print_table
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = ROOT / "BENCH_net.json"
+
+#: (fixture name, stream adapter name, payload-size distribution)
+BENCHES = [
+    ("AES", "aes", (16, 32, 64)),
+    ("Kasumi", "kasumi", (8, 16, 32)),
+    ("NAT", "nat", None),
+]
+
+PACKETS = 96
+THREADS = 4
+SEED = 7
+
+#: the acceptance bar: 4 engines must deliver at least this much more
+#: throughput than 1 on at least MIN_SCALING_APPS of the three apps.
+MIN_SCALING = 2.5
+MIN_SCALING_APPS = 2
+
+
+def _run(name: str, comp, sizes, engines: int):
+    config = NetConfig(
+        engines=engines,
+        threads=THREADS,
+        rx_capacity=PACKETS + 4,  # whole backlog fits: no drops
+        tx_capacity=32,
+        packets=PACKETS,
+        seed=SEED,
+        arrival="backlog",
+    )
+    return run_stream(stream_app(name, comp, sizes), config)
+
+
+def write_bench_file(results: dict) -> None:
+    """Persist results; the baseline block is frozen once recorded."""
+    data = {
+        "meta": {
+            "benchmark": "benchmarks/test_net_throughput.py",
+            "units": {
+                "cycles": "simulated cycles to drain the stream",
+                "mbps": "payload Mbit/s at the 233 MHz IXP1200 clock",
+            },
+            "packets": PACKETS,
+            "threads": THREADS,
+            "seed": SEED,
+            "python": sys.version.split()[0],
+        },
+        "results": results,
+    }
+    baseline = None
+    if BENCH_FILE.exists():
+        try:
+            baseline = json.loads(BENCH_FILE.read_text()).get("baseline")
+        except (OSError, ValueError):
+            baseline = None
+    data["baseline"] = baseline or {
+        key: {"mbps_4e": row["mbps_4e"], "scaling": row["scaling"]}
+        for key, row in results.items()
+    }
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_net_throughput_table(compiled_apps):
+    rows = []
+    results = {}
+    for fixture_name, stream_name, sizes in BENCHES:
+        _, comp = compiled_apps[fixture_name]
+        one = _run(stream_name, comp, sizes, engines=1)
+        four = _run(stream_name, comp, sizes, engines=4)
+        for result in (one, four):
+            assert result.completed == result.generated == PACKETS
+            assert result.dropped == 0, "backlog config must not drop"
+            assert not result.mismatches, (
+                f"{stream_name}: {len(result.mismatches)} packets diverged "
+                f"from the reference implementation"
+            )
+        scaling = one.cycles / four.cycles
+        results[stream_name] = {
+            "cycles_1e": one.cycles,
+            "cycles_4e": four.cycles,
+            "mbps_1e": round(one.mbps, 3),
+            "mbps_4e": round(four.mbps, 3),
+            "scaling": round(scaling, 2),
+            "completed": four.completed,
+            "dropped": four.dropped,
+            "mismatches": len(four.mismatches),
+            "latency_p50_4e": four.percentile(50),
+            "latency_p95_4e": four.percentile(95),
+            "rx_high_water_4e": four.rx_high_water,
+        }
+        rows.append(
+            [
+                stream_name,
+                one.cycles,
+                four.cycles,
+                f"{one.mbps:.1f}",
+                f"{four.mbps:.1f}",
+                f"{scaling:.2f}x",
+                four.percentile(95),
+            ]
+        )
+    print_table(
+        f"Streaming throughput: 1 vs 4 engines ({PACKETS} packets, "
+        f"{THREADS} threads/engine)",
+        ["app", "cyc 1e", "cyc 4e", "mbps 1e", "mbps 4e", "scaling", "p95 4e"],
+        rows,
+    )
+    write_bench_file(results)
+    scaled = [k for k, row in results.items() if row["scaling"] >= MIN_SCALING]
+    assert len(scaled) >= MIN_SCALING_APPS, (
+        f"only {scaled} reached {MIN_SCALING}x scaling: "
+        f"{ {k: row['scaling'] for k, row in results.items()} }"
+    )

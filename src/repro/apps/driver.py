@@ -26,6 +26,8 @@ class ThroughputResult:
 
     @property
     def mbps(self) -> float:
+        if self.run.cycles == 0:
+            return 0.0  # zero-packet run: no time elapsed, no data moved
         seconds = self.run.cycles / (CLOCK_MHZ * 1e6)
         return self.packets * self.payload_bytes * 8 / seconds / 1e6
 

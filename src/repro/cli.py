@@ -9,6 +9,7 @@ Usage::
     novac --jobs 4 a.nova b.nova    # batch-compile over a process pool
     novac --cache-dir .cache *.nova # content-addressed compile cache
     novac fuzz --seed 0 --count 200 # differential fuzzing campaign
+    novac pump --app nat --engines 4 # multi-engine packet streaming
 
 With more than one source file ``novac`` switches to batch mode: every
 file is compiled (failures don't stop the rest), a one-line outcome per
@@ -34,6 +35,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fuzz.driver import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "pump":
+        from repro.ixp.net import pump_main
+
+        return pump_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="novac", description="Nova → IXP1200 compiler"
     )

@@ -74,6 +74,9 @@ from repro.trace import ensure
 WORD_MASK = 0xFFFFFFFF
 HASH_LATENCY = 10
 CLOCK_MHZ = 233  # IXP1200 in the paper (Section 11)
+#: Cycles a thread sleeps before retrying a full-ring enqueue / empty-ring
+#: dequeue (same cadence as the lock-bit spin).
+RING_RETRY = 4
 
 
 def _alu_eval(op: str, a: int, b: int | None) -> int:
@@ -646,6 +649,58 @@ def _decode_mem(instr: isa.MemOp, physical: bool, nxt) -> Callable:
     return step
 
 
+def _decode_ring(instr: isa.RingOp, physical: bool, nxt) -> Callable:
+    ring_name = instr.ring
+    if instr.kind == "enq":
+        try:
+            src = _read_spec(instr.reg, physical)
+        except SimulatorError as exc:
+            return _raiser(exc, ())
+        if src[0] == "imm":
+            const = src[1]
+
+            def step(thread, clock):
+                ring = thread.machine.memory.ring(ring_name)
+                finish = ring.try_enqueue(clock + 1, const)
+                if finish is None:
+                    return 1, clock + RING_RETRY  # full: spin-retry
+                thread.step = nxt
+                return 1, finish
+
+        else:
+            sk, smsg = src[1], src[2]
+
+            def step(thread, clock):
+                ring = thread.machine.memory.ring(ring_name)
+                try:
+                    value = thread.rv[sk]
+                except KeyError:
+                    raise SimulatorError(smsg) from None
+                finish = ring.try_enqueue(clock + 1, value)
+                if finish is None:
+                    return 1, clock + RING_RETRY
+                thread.step = nxt
+                return 1, finish
+
+    else:
+        try:
+            dk = _intern_key(instr.reg, physical)
+        except SimulatorError as exc:
+            return _raiser(exc, ())
+
+        def step(thread, clock):
+            ring = thread.machine.memory.ring(ring_name)
+            popped = ring.try_dequeue(clock + 1)
+            if popped is None:
+                return 1, clock + RING_RETRY  # empty: spin-retry
+            value, finish = popped
+            thread.rv[dk] = value
+            thread.step = nxt
+            return 1, finish
+
+    return step
+
+
 def _decode_hash(instr: isa.HashInstr, physical: bool, nxt) -> Callable:
     try:
         src_bank, dst_bank = _bank_of(instr.src), _bank_of(instr.dst)
@@ -906,6 +961,8 @@ def _decode_instr(instr: isa.Instr, physical: bool, nxt, cells) -> Callable:
         step = _decode_immed(instr, physical, nxt)
     elif isinstance(instr, isa.MemOp):
         step = _decode_mem(instr, physical, nxt)
+    elif isinstance(instr, isa.RingOp):
+        step = _decode_ring(instr, physical, nxt)
     elif isinstance(instr, isa.HashInstr):
         step = _decode_hash(instr, physical, nxt)
     elif isinstance(instr, isa.CsrRd):
@@ -985,12 +1042,10 @@ class _Thread:
         self.stats = ThreadStats()
         self.iteration = 0
 
-    def restart(self) -> bool:
+    def load(self, inputs: dict) -> None:
+        """Reset the thread to the graph entry with a fresh register
+        file holding ``inputs`` (register-file keys → values)."""
         machine = self.machine
-        inputs = machine.input_provider(self.tid, self.iteration)
-        if inputs is None:
-            self.done = True
-            return False
         self.regs = RegisterFile(machine.physical)
         values = self.regs.values
         for name, value in inputs.items():
@@ -1001,6 +1056,13 @@ class _Thread:
         decoded = machine.decoded
         if decoded is not None:
             self.step = decoded.entry
+
+    def restart(self) -> bool:
+        inputs = self.machine.input_provider(self.tid, self.iteration)
+        if inputs is None:
+            self.done = True
+            return False
+        self.load(inputs)
         return True
 
 
@@ -1044,26 +1106,50 @@ class Machine:
         self.locks: dict[int, int] = {}
 
     # -- execution ------------------------------------------------------------
+    #
+    # The stepping primitives (start / service / dispatch) are public so
+    # an external scheduler — ``repro.ixp.net`` interleaving N engines on
+    # one global clock — can drive this machine event by event; ``run``
+    # is the single-engine closed loop built from the same primitives.
 
-    def run(self) -> RunResult:
+    def start(self) -> list[tuple[int, int]]:
+        """Restart every thread from the input provider; returns
+        ``(ready_at, tid)`` for the threads that received work."""
+        return [(0, t.tid) for t in self.threads if t.restart()]
+
+    def service(self, tid: int, now: int) -> int:
+        """Run thread ``tid`` from cycle ``now`` until it blocks, yields
+        or halts; returns the engine clock after the slice (the thread's
+        wake-up time is in ``threads[tid].ready_at``)."""
         run_thread = (
             self._run_thread_decoded
             if self.decoded is not None
             else self._run_thread
         )
+        return run_thread(self.threads[tid], now)
+
+    def dispatch(self, tid: int, inputs: dict, at: int = 0) -> None:
+        """Hand thread ``tid`` one unit of work: reset it to the graph
+        entry with ``inputs`` in a fresh register file, ready at ``at``.
+        Used by external schedulers instead of the input provider."""
+        thread = self.threads[tid]
+        thread.load(inputs)
+        thread.done = False
+        thread.ready_at = at
+
+    def run(self) -> RunResult:
         with self.tracer.span("simulate") as sp:
             clock = 0
             ready: list[tuple[int, int, int]] = []  # (ready_at, tid, seq)
             seq = 0
-            for thread in self.threads:
-                if thread.restart():
-                    heapq.heappush(ready, (0, thread.tid, seq))
-                    seq += 1
+            for ready_at, tid in self.start():
+                heapq.heappush(ready, (ready_at, tid, seq))
+                seq += 1
             while ready:
                 ready_at, tid, _ = heapq.heappop(ready)
                 clock = max(clock, ready_at)
                 thread = self.threads[tid]
-                clock = run_thread(thread, clock)
+                clock = self.service(tid, clock)
                 if clock > self.max_cycles:
                     raise SimulatorError(
                         f"simulation exceeded {self.max_cycles} cycles"
@@ -1196,6 +1282,8 @@ class Machine:
             return 1 if 0 <= instr.value < (1 << 16) else 2, None
         if isinstance(instr, isa.MemOp):
             return self._execute_mem(thread, instr, clock)
+        if isinstance(instr, isa.RingOp):
+            return self._execute_ring(thread, instr, clock)
         if isinstance(instr, isa.HashInstr):
             src_bank, dst_bank = _bank_of(instr.src), _bank_of(instr.dst)
             if src_bank is not None:
@@ -1271,6 +1359,41 @@ class Machine:
         self._advance(thread)
         return 1, None
 
+    def _execute_ring(
+        self, thread: _Thread, instr: isa.RingOp, clock: int
+    ) -> tuple[int, int | None]:
+        regs = thread.regs
+        # Static operand faults come before the ring lookup and before
+        # any side effect — the decoded path raises them at decode time.
+        key = None
+        if not isinstance(instr.reg, isa.Imm):
+            key = regs.key(instr.reg)
+        elif instr.kind == "deq":
+            regs.key(instr.reg)  # immediates cannot receive a dequeue
+        ring = self.memory.ring(instr.ring)
+        if instr.kind == "enq":
+            if key is None:
+                value = instr.reg.value
+            elif key in regs.values:
+                value = regs.values[key]
+            else:
+                raise SimulatorError(
+                    f"read of undefined register {instr.reg}"
+                )
+            finish = ring.try_enqueue(clock + 1, value)
+            if finish is None:
+                # Full: spin — thread.index stays here for the retry.
+                return 1, clock + RING_RETRY
+            self._advance(thread)
+            return 1, finish
+        popped = ring.try_dequeue(clock + 1)
+        if popped is None:
+            return 1, clock + RING_RETRY
+        value, finish = popped
+        regs.values[key] = value
+        self._advance(thread)
+        return 1, finish
+
     def _execute_mem(
         self, thread: _Thread, instr: isa.MemOp, clock: int
     ) -> tuple[int, int | None]:
@@ -1307,6 +1430,8 @@ def _opcode_of(instr: isa.Instr) -> str:
         return f"{instr.space}.{instr.direction}"
     if isinstance(instr, isa.LockInstr):
         return f"lock.{instr.kind}"
+    if isinstance(instr, isa.RingOp):
+        return f"ring.{instr.kind}"
     return {
         isa.Move: "move",
         isa.Clone: "clone",

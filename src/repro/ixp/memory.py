@@ -111,8 +111,110 @@ class MemorySpace:
 
 
 @dataclass
+class ScratchRing:
+    """A bounded ring queue over a reserved region of one memory space.
+
+    Models the scratch rings line cards use between the receive unit,
+    worker micro-engines and the transmit unit: a circular buffer of
+    single-word entries with two control words.  The region layout is
+
+    ==========  =======================================
+    ``base``      head counter (dequeues so far, mod 2^32)
+    ``base+1``    tail counter (enqueues so far, mod 2^32)
+    ``base+2+i``  data slot ``i`` (``0 <= i < capacity``)
+    ==========  =======================================
+
+    so ring state is part of the ordinary memory image (goldens and
+    parity tests compare it word for word).  Every enqueue/dequeue is
+    one single-word transfer through the backing space's service port
+    (:meth:`MemorySpace.issue`), so ring traffic contends with ordinary
+    scratch accesses exactly like any other reference.
+
+    ``try_enqueue``/``try_dequeue`` never block: a full/empty ring
+    returns ``None`` and the *caller* decides between dropping (tail
+    drop at the receive unit) and retrying (a worker spinning — the
+    simulator's ``ring.enq``/``ring.deq`` instructions do this).
+    """
+
+    name: str
+    space: MemorySpace
+    base: int
+    capacity: int
+    head: int = 0
+    tail: int = 0
+    #: deepest occupancy ever observed (after an enqueue).
+    high_water: int = 0
+    enqueues: int = 0
+    dequeues: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulatorError(f"ring '{self.name}': capacity must be > 0")
+        if self.base < 0 or self.base + 2 + self.capacity > self.space.size:
+            raise SimulatorError(
+                f"ring '{self.name}' region [{self.base}, "
+                f"{self.base + 2 + self.capacity}) does not fit in "
+                f"{self.space.name} (size {self.space.size})"
+            )
+        self._sync_control()
+
+    def depth(self) -> int:
+        return self.tail - self.head
+
+    @property
+    def full(self) -> bool:
+        return self.depth() >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self.depth() == 0
+
+    def _sync_control(self) -> None:
+        self.space.words[self.base] = self.head & WORD_MASK
+        self.space.words[self.base + 1] = self.tail & WORD_MASK
+
+    def try_enqueue(self, now: int, value: int) -> int | None:
+        """Push ``value``; returns the transfer's completion cycle, or
+        ``None`` (and no side effects, no port traffic) when full."""
+        if self.full:
+            return None
+        slot = self.base + 2 + (self.tail % self.capacity)
+        finish = self.space.issue(now, 1)
+        self.space.write(slot, [value])
+        self.tail += 1
+        self.enqueues += 1
+        self.high_water = max(self.high_water, self.depth())
+        self._sync_control()
+        return finish
+
+    def try_dequeue(self, now: int) -> tuple[int, int] | None:
+        """Pop the oldest entry; returns ``(value, completion cycle)``,
+        or ``None`` (no side effects) when empty."""
+        if self.empty:
+            return None
+        slot = self.base + 2 + (self.head % self.capacity)
+        finish = self.space.issue(now, 1)
+        [value] = self.space.read(slot, 1)
+        self.head += 1
+        self.dequeues += 1
+        self._sync_control()
+        return value, finish
+
+    def snapshot(self) -> list[int]:
+        """Current contents, oldest first (no cycle cost)."""
+        return [
+            self.space.words.get(
+                self.base + 2 + (index % self.capacity), 0
+            )
+            for index in range(self.head, self.tail)
+        ]
+
+
+@dataclass
 class MemorySystem:
     spaces: dict[str, MemorySpace]
+    #: named ring queues layered over reserved regions of the spaces.
+    rings: dict[str, ScratchRing] = field(default_factory=dict)
 
     @staticmethod
     def create(sizes: dict[str, int] | None = None) -> "MemorySystem":
@@ -126,3 +228,19 @@ class MemorySystem:
             return self.spaces[name]
         except KeyError:
             raise SimulatorError(f"unknown memory space '{name}'") from None
+
+    def add_ring(
+        self, name: str, base: int, capacity: int, space: str = "scratch"
+    ) -> ScratchRing:
+        """Reserve a ring region; ``name`` is the handle ring ops use."""
+        if name in self.rings:
+            raise SimulatorError(f"ring '{name}' already exists")
+        ring = ScratchRing(name, self[space], base, capacity)
+        self.rings[name] = ring
+        return ring
+
+    def ring(self, name: str) -> ScratchRing:
+        try:
+            return self.rings[name]
+        except KeyError:
+            raise SimulatorError(f"unknown ring '{name}'") from None

@@ -1,0 +1,886 @@
+"""``repro.ixp.net`` — a multi-engine packet-streaming runtime.
+
+The paper's measurement context is a line card: six micro-engines drain
+receive FIFOs and scratch rings under sustained traffic (Section 11).
+The batch driver (:mod:`repro.apps.driver`) closes that loop with a
+fixed per-thread packet quota; this module replaces the quota with the
+steady-state, queue-coupled regime the paper's throughput numbers live
+in:
+
+- **N micro-engines** — N :class:`~repro.ixp.machine.Machine` instances
+  interleaved on one global event clock over a *shared*
+  :class:`~repro.ixp.memory.MemorySystem`, so engines contend for the
+  SRAM/SDRAM/scratch service ports exactly like threads already do
+  within one engine;
+- **bounded scratch rings** — an RX ring carries packet descriptors
+  from the synthetic receive unit to worker threads, a TX ring carries
+  them to the transmit sink; every enqueue/dequeue is a single-word
+  scratch transfer (port occupancy + latency), full rings drop at RX
+  (tail drop) and *backpressure* workers at TX;
+- **a seeded traffic source** — configurable arrival process (poisson /
+  constant / backlog), payload-size distribution and burst factor;
+- **a validating TX sink** — every drained packet is checked word for
+  word against the application's pure-Python reference implementation
+  (results *and* the packet's SDRAM region);
+- **observability** — per-packet latency (arrival → drain) with a log2
+  histogram, throughput, queue-depth high-water marks and drop rates,
+  emitted as ``net.*`` trace spans and via ``novac pump``.
+
+Scheduling model
+----------------
+
+A single global event heap orders three actors — arrivals, workers
+(one per hardware thread per engine), and the sink — by cycle time.
+Each engine keeps its own clock (engines run in parallel in hardware);
+a worker slice runs its thread through the engine's existing stepping
+primitives (:meth:`Machine.service`) from ``max(engine clock, event
+time)``.  Worker ring interaction happens at the scheduling layer: a
+thread that finishes a packet (halt) enqueues its descriptor on the TX
+ring and dequeues the next from RX, paying the ring's scratch-port
+costs; an empty RX or full TX re-polls every ``poll`` cycles.  This is
+the receive/transmit scheduler glue the paper says ships with every
+application — hand-written ring code can use the ``ring.enq`` /
+``ring.deq`` instructions directly (see ``docs/NETWORKING.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulatorError
+from repro.ixp.machine import CLOCK_MHZ, Machine
+from repro.ixp.memory import MemorySystem
+from repro.trace import ensure
+
+#: event kinds on the global heap (tie-broken by sequence number).
+_EV_ARRIVE, _EV_WORKER, _EV_SINK = 0, 1, 2
+
+
+@dataclass
+class NetConfig:
+    """Streaming-run parameters (all cycle values in engine cycles)."""
+
+    engines: int = 1
+    #: hardware threads per engine.
+    threads: int = 4
+    rx_capacity: int = 32
+    tx_capacity: int = 32
+    #: packet budget: the source stops after this many packets.
+    packets: int = 64
+    #: cycle budget: the run stops scheduling past this time (None =
+    #: run until every packet is drained or dropped).
+    max_cycles: int | None = None
+    seed: int = 0
+    #: arrival process: 'poisson' (exponential gaps), 'constant', or
+    #: 'backlog' (every packet arrives at cycle 0 — closed loop).
+    arrival: str = "poisson"
+    #: mean cycles between bursts (poisson/constant).
+    mean_gap: float = 64.0
+    #: packets per burst.
+    burst: int = 1
+    #: minimum cycles between TX-sink drains (0 = line rate unlimited).
+    sink_gap: int = 0
+    #: re-poll interval for idle workers (empty RX) and backpressured
+    #: workers (full TX).
+    poll: int = 16
+    #: run the pre-decoded execution path (False = interpreter).
+    decode: bool = True
+
+
+@dataclass
+class StreamPacket:
+    """One packet's life: payload, expectations, and timeline."""
+
+    seq: int
+    payload_words: list[int]
+    payload_bytes: int
+    #: per-packet source-level input overrides (never includes base).
+    inputs: dict[str, int]
+    expected_results: tuple[int, ...]
+    expected_words: list[int]
+    arrival: int = 0
+    slot: int | None = None
+    engine: int = -1
+    thread: int = -1
+    rx_ready: int = 0
+    dispatched: int = 0
+    halted: int = 0
+    tx_ready: int = 0
+    drained: int = 0
+    latency: int = -1
+    #: times the worker found the TX ring full (backpressure events).
+    tx_stalls: int = 0
+    results: tuple[int, ...] = ()
+    status: str = "new"  # new|queued|inflight|done|mismatch|dropped
+
+
+@dataclass
+class StreamApp:
+    """A compiled application bound to the streaming runtime."""
+
+    name: str
+    bundle: object  # AppBundle
+    comp: object  # Compilation (virtual or allocated)
+    #: SDRAM words per packet slot (stride is rounded up to even).
+    slot_words: int
+    #: (rng, seq) -> StreamPacket with payload + expectations filled.
+    generate: Callable[[random.Random, int], StreamPacket]
+
+
+@dataclass
+class StreamResult:
+    """Everything a streaming run observed."""
+
+    app: str
+    config: NetConfig
+    generated: int
+    completed: int
+    dropped: int
+    mismatches: list[dict]
+    #: end-to-end makespan: last drain / busiest engine clock.
+    cycles: int
+    latencies: list[int]
+    #: payload bits of *completed* packets (throughput numerator).
+    payload_bits: int
+    rx_high_water: int
+    tx_high_water: int
+    engine_cycles: list[int]
+    engine_instructions: list[int]
+    truncated: bool = False
+    packets: list[StreamPacket] = field(default_factory=list, repr=False)
+
+    @property
+    def mbps(self) -> float:
+        """Payload megabits per second at the IXP1200 clock."""
+        if self.cycles == 0:
+            return 0.0
+        seconds = self.cycles / (CLOCK_MHZ * 1e6)
+        return self.payload_bits / seconds / 1e6
+
+    @property
+    def drop_rate(self) -> float:
+        if self.generated == 0:
+            return 0.0
+        return self.dropped / self.generated
+
+    def percentile(self, p: float) -> int:
+        """Nearest-rank latency percentile (cycles); -1 if no packets."""
+        if not self.latencies:
+            return -1
+        ordered = sorted(self.latencies)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil
+        return ordered[min(len(ordered), int(rank)) - 1]
+
+    def latency_histogram(self) -> dict[int, int]:
+        """Log2 buckets: upper bound (cycles) → packet count."""
+        hist: dict[int, int] = {}
+        for latency in self.latencies:
+            bound = 1
+            while bound < latency:
+                bound <<= 1
+            hist[bound] = hist.get(bound, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def summary(self) -> dict:
+        return {
+            "app": self.app,
+            "engines": self.config.engines,
+            "threads": self.config.threads,
+            "generated": self.generated,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "mismatches": len(self.mismatches),
+            "cycles": self.cycles,
+            "mbps": round(self.mbps, 3),
+            "latency_p50": self.percentile(50),
+            "latency_p95": self.percentile(95),
+            "latency_max": max(self.latencies, default=-1),
+            "rx_high_water": self.rx_high_water,
+            "tx_high_water": self.tx_high_water,
+            "truncated": self.truncated,
+        }
+
+
+def memory_digest(memory: MemorySystem) -> str:
+    """Stable short digest of every non-zero word in every space."""
+    sha = hashlib.sha256()
+    for name in sorted(memory.spaces):
+        words = memory.spaces[name].words
+        for addr in sorted(words):
+            if words[addr]:
+                sha.update(f"{name}:{addr}:{words[addr]};".encode())
+    return sha.hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------
+# Application adapters
+# --------------------------------------------------------------------------
+
+
+def _to_words(data: bytes) -> list[int]:
+    return [
+        int.from_bytes(data[i : i + 4], "big") for i in range(0, len(data), 4)
+    ]
+
+
+def _rand_bytes(rng: random.Random, count: int) -> bytes:
+    return bytes(rng.getrandbits(8) for _ in range(count))
+
+
+def _aes_stream_app(comp, payload_sizes: tuple[int, ...]) -> StreamApp:
+    from repro.apps.aes_nova import (
+        aes_reference_checksum,
+        aes_reference_ciphertext,
+        build_aes_app,
+    )
+
+    for size in payload_sizes:
+        if size <= 0 or size % 16:
+            raise ValueError(f"AES payloads are 16-byte blocks, got {size}")
+    bundle = build_aes_app()
+
+    def generate(rng: random.Random, seq: int) -> StreamPacket:
+        size = payload_sizes[rng.randrange(len(payload_sizes))]
+        payload = _rand_bytes(rng, size)
+        return StreamPacket(
+            seq=seq,
+            payload_words=_to_words(payload),
+            payload_bytes=size,
+            inputs={"nblocks": size // 16, "align": 0},
+            expected_results=(aes_reference_checksum(payload),),
+            expected_words=aes_reference_ciphertext(payload),
+        )
+
+    return StreamApp("aes", bundle, comp, max(payload_sizes) // 4, generate)
+
+
+def _kasumi_stream_app(comp, payload_sizes: tuple[int, ...]) -> StreamApp:
+    from repro.apps.kasumi_nova import (
+        build_kasumi_app,
+        kasumi_reference_ciphertext,
+        kasumi_reference_sum,
+    )
+
+    for size in payload_sizes:
+        if size <= 0 or size % 8:
+            raise ValueError(f"Kasumi payloads are 8-byte blocks, got {size}")
+    bundle = build_kasumi_app()
+
+    def generate(rng: random.Random, seq: int) -> StreamPacket:
+        size = payload_sizes[rng.randrange(len(payload_sizes))]
+        payload = _rand_bytes(rng, size)
+        return StreamPacket(
+            seq=seq,
+            payload_words=_to_words(payload),
+            payload_bytes=size,
+            inputs={"nblocks": size // 8},
+            expected_results=(kasumi_reference_sum(payload),),
+            expected_words=kasumi_reference_ciphertext(payload),
+        )
+
+    return StreamApp("kasumi", bundle, comp, max(payload_sizes) // 4, generate)
+
+
+def _nat_stream_mappings(count: int = 8) -> dict[tuple[int, int, int, int], int]:
+    """``count`` IPv6 → IPv4 mappings with distinct table indexes (the
+    table is direct-mapped; colliding addresses would evict each other)."""
+    from repro.apps.refimpl import nat
+
+    mappings: dict[tuple[int, int, int, int], int] = {}
+    used: set[int] = set()
+    host = 0
+    while len(mappings) < count:
+        host += 1
+        addr = (0x20010DB8, 0, 0x5EED, host)
+        index = nat.nat_table_index(list(addr))
+        if index in used:
+            continue
+        used.add(index)
+        mappings[addr] = 0x0A000000 + len(mappings) + 1
+    return mappings
+
+
+def _nat_stream_app(comp) -> StreamApp:
+    from repro.apps.nat_nova import build_nat_app
+    from repro.apps.refimpl import nat
+
+    mappings = _nat_stream_mappings()
+    bundle = build_nat_app(mappings=mappings)
+    table = nat.build_nat_table(mappings)
+    addresses = list(mappings)
+
+    def generate(rng: random.Random, seq: int) -> StreamPacket:
+        src = addresses[rng.randrange(len(addresses))]
+        dst = addresses[rng.randrange(len(addresses))]
+        tclass = rng.getrandbits(8)
+        flow = rng.getrandbits(20)
+        payload_length = rng.randrange(0, 1024)
+        next_header = rng.getrandbits(8)
+        hop = rng.randrange(1, 256)
+        w0 = (6 << 28) | (tclass << 20) | flow
+        w1 = (payload_length << 16) | (next_header << 8) | hop
+        words = [w0, w1, *src, *dst]
+        header = nat.translate_ipv6_to_ipv4(words, table)
+        return StreamPacket(
+            seq=seq,
+            payload_words=list(words),
+            payload_bytes=40,  # the translated IPv6 header
+            inputs={},
+            expected_results=(header[2] & 0xFFFF,),
+            expected_words=words[:5] + header,
+        )
+
+    return StreamApp("nat", bundle, comp, 10, generate)
+
+
+def stream_app(
+    name: str, comp, payload_sizes: tuple[int, ...] | None = None
+) -> StreamApp:
+    """Build the streaming adapter for one of the Section 11 apps.
+
+    ``comp`` may be a virtual (pre-allocation) or allocated
+    compilation of the app's bundled source; ``payload_sizes`` is the
+    payload-size distribution for AES (multiples of 16) and Kasumi
+    (multiples of 8) — NAT packets are always one 40-byte header.
+    """
+    if name == "aes":
+        return _aes_stream_app(comp, payload_sizes or (16,))
+    if name == "kasumi":
+        return _kasumi_stream_app(comp, payload_sizes or (8,))
+    if name == "nat":
+        return _nat_stream_app(comp)
+    raise ValueError(f"unknown streaming app '{name}'")
+
+
+# --------------------------------------------------------------------------
+# The runtime
+# --------------------------------------------------------------------------
+
+
+class NetRuntime:
+    """One streaming run: build with an adapter + config, call :meth:`run`."""
+
+    def __init__(self, app: StreamApp, config: NetConfig, tracer=None):
+        if config.engines <= 0 or config.threads <= 0:
+            raise ValueError("need at least one engine and one thread")
+        self.app = app
+        self.comp = app.comp
+        self.config = config
+        self.tracer = ensure(tracer)
+        self.rng = random.Random(config.seed)
+
+        self.memory = MemorySystem.create()
+        bundle = app.bundle
+        for space, chunks in bundle.memory_image.items():
+            for addr, words in chunks:
+                if space == "sdram" and addr >= bundle.payload_base:
+                    continue  # payloads are written per slot on arrival
+                self.memory[space].load_words(addr, words)
+        scratch = self.memory["scratch"]
+        tx_base = scratch.size - (2 + config.tx_capacity)
+        rx_base = tx_base - (2 + config.rx_capacity)
+        self.rx = self.memory.add_ring("rx", rx_base, config.rx_capacity)
+        self.tx = self.memory.add_ring("tx", tx_base, config.tx_capacity)
+
+        physical = self.comp.alloc is not None
+        graph = self.comp.physical if physical else self.comp.flowgraph
+        # The runtime enforces config.max_cycles at the event level (a
+        # clean truncated result); the machines get headroom beyond it
+        # so an in-flight slice never trips their internal guard first.
+        machine_budget = (
+            config.max_cycles * 4 + 1_000_000
+            if config.max_cycles is not None
+            else 1_000_000_000
+        )
+        self.machines = [
+            Machine(
+                graph,
+                memory=self.memory,
+                threads=config.threads,
+                physical=physical,
+                input_provider=lambda tid, it: None,  # runtime dispatches
+                max_cycles=machine_budget,
+                decode=config.decode,
+            )
+            for _ in range(config.engines)
+        ]
+        self.engine_clock = [0] * config.engines
+        self._consumed = [0] * config.engines
+
+        workers = config.engines * config.threads
+        self.worker_state = ["idle"] * workers
+        self.worker_packet: list[StreamPacket | None] = [None] * workers
+
+        #: enough buffer slots that ring bounds, not slot exhaustion,
+        #: limit the number of in-flight packets.
+        self.slot_count = config.rx_capacity + workers + config.tx_capacity + 2
+        self.slot_stride = app.slot_words + (app.slot_words % 2)
+        self.free_slots: deque[int] = deque(range(self.slot_count))
+        self.slot_packet: dict[int, StreamPacket] = {}
+
+        self.packets: list[StreamPacket] = []
+        self.generated = 0
+        self.completed = 0
+        self.dropped = 0
+        self.accounted = 0
+        self.mismatches: list[dict] = []
+        self.latencies: list[int] = []
+        self.payload_bits = 0
+        self.source_done = False
+        self.truncated = False
+        self.end_cycle = 0
+        self.sink_next_free = 0
+        self.sink_scheduled = False
+
+        self._heap: list[tuple[int, int, int, int]] = []
+        self._seq = 0
+
+    # -- event plumbing -----------------------------------------------------
+
+    def _push(self, time: int, kind: int, data: int = 0) -> None:
+        heapq.heappush(self._heap, (time, self._seq, kind, data))
+        self._seq += 1
+
+    def _slot_base(self, slot: int) -> int:
+        return self.app.bundle.payload_base + slot * self.slot_stride
+
+    def _gap(self) -> int:
+        config = self.config
+        if config.arrival == "poisson":
+            return max(1, round(self.rng.expovariate(1.0 / config.mean_gap)))
+        if config.arrival == "constant":
+            return max(1, round(config.mean_gap))
+        raise ValueError(f"unknown arrival process '{config.arrival}'")
+
+    # -- actors --------------------------------------------------------------
+
+    def _on_arrival(self, now: int) -> None:
+        config = self.config
+        count = (
+            config.packets
+            if config.arrival == "backlog"
+            else min(config.burst, config.packets - self.generated)
+        )
+        for _ in range(count):
+            packet = self.app.generate(self.rng, self.generated)
+            packet.arrival = now
+            self.generated += 1
+            self.packets.append(packet)
+            if self.rx.full or not self.free_slots:
+                packet.status = "dropped"  # tail drop at the receive unit
+                self.dropped += 1
+                self.accounted += 1
+                continue
+            slot = self.free_slots.popleft()
+            packet.slot = slot
+            # The receive unit DMAs the payload into the slot's SDRAM
+            # region (back door — its bus is not the engines' port).
+            self.memory["sdram"].load_words(
+                self._slot_base(slot), packet.payload_words
+            )
+            packet.rx_ready = self.rx.try_enqueue(now, slot)
+            packet.status = "queued"
+            self.slot_packet[slot] = packet
+        if self.generated >= config.packets:
+            self.source_done = True
+        else:
+            self._push(now + self._gap(), _EV_ARRIVE)
+
+    def _bind_inputs(self, packet: StreamPacket) -> dict:
+        values = dict(self.app.bundle.inputs)
+        values.update(packet.inputs)
+        values["base"] = self._slot_base(packet.slot)
+        raw = self.comp.make_inputs(**values)
+        if self.comp.alloc is None:
+            return raw
+        locations = self.comp.alloc.decoded.input_locations
+        out: dict = {}
+        for temp, value in raw.items():
+            location = locations.get(temp)
+            if location is None:
+                continue
+            kind, where = location
+            if kind == "reg":
+                out[(where.bank, where.index)] = value
+            else:
+                # Spilled input: lives at an absolute scratch address
+                # shared by every thread — per-packet values would race.
+                raise SimulatorError(
+                    f"input {temp} was spilled to scratch; the streaming "
+                    "runtime needs register-resident inputs"
+                )
+        return out
+
+    def _on_worker(self, now: int, worker: int) -> None:
+        state = self.worker_state[worker]
+        if state == "dormant":
+            return
+        if state == "idle":
+            self._worker_pull(now, worker)
+        elif state == "txwait":
+            self._worker_tx(now, worker)
+        else:  # 'run'
+            self._worker_run(now, worker)
+
+    def _worker_pull(self, now: int, worker: int) -> None:
+        popped = self.rx.try_dequeue(now)
+        if popped is None:
+            if self.source_done:
+                self.worker_state[worker] = "dormant"
+            else:
+                self._push(now + self.config.poll, _EV_WORKER, worker)
+            return
+        slot, finish = popped
+        packet = self.slot_packet[slot]
+        engine, tid = divmod(worker, self.config.threads)
+        packet.dispatched = finish
+        packet.engine = engine
+        packet.thread = tid
+        packet.status = "inflight"
+        self.machines[engine].dispatch(tid, self._bind_inputs(packet), finish)
+        self.worker_packet[worker] = packet
+        self.worker_state[worker] = "run"
+        self._push(finish, _EV_WORKER, worker)
+
+    def _worker_run(self, now: int, worker: int) -> None:
+        engine, tid = divmod(worker, self.config.threads)
+        machine = self.machines[engine]
+        thread = machine.threads[tid]
+        clock = machine.service(tid, max(self.engine_clock[engine], now))
+        self.engine_clock[engine] = clock
+        self.end_cycle = max(self.end_cycle, clock)
+        if not thread.done:
+            self._push(thread.ready_at, _EV_WORKER, worker)
+            return
+        # Halted: exactly one result was appended during this slice.
+        index = self._consumed[engine]
+        result_tid, values = machine.results[index]
+        assert result_tid == tid and index + 1 == len(machine.results)
+        self._consumed[engine] = index + 1
+        packet = self.worker_packet[worker]
+        packet.halted = clock
+        packet.results = values
+        self.worker_state[worker] = "txwait"
+        self._worker_tx(clock, worker)
+
+    def _worker_tx(self, now: int, worker: int) -> None:
+        packet = self.worker_packet[worker]
+        finish = self.tx.try_enqueue(now, packet.slot)
+        if finish is None:
+            packet.tx_stalls += 1  # backpressure: sink is behind
+            self._push(now + self.config.poll, _EV_WORKER, worker)
+            return
+        packet.tx_ready = finish
+        self.worker_packet[worker] = None
+        self.worker_state[worker] = "idle"
+        self._ensure_sink(finish)
+        self._push(finish, _EV_WORKER, worker)
+
+    def _ensure_sink(self, time: int) -> None:
+        if not self.sink_scheduled:
+            self.sink_scheduled = True
+            self._push(max(time, self.sink_next_free), _EV_SINK)
+
+    def _on_sink(self, now: int) -> None:
+        self.sink_scheduled = False
+        popped = self.tx.try_dequeue(now)
+        if popped is None:
+            return  # re-armed by the next TX enqueue
+        slot, finish = popped
+        drain = max(finish, self.sink_next_free)
+        self.sink_next_free = drain + self.config.sink_gap
+        packet = self.slot_packet.pop(slot)
+        self._validate(packet, drain)
+        self.free_slots.append(slot)
+        self.completed += 1
+        self.accounted += 1
+        self.end_cycle = max(self.end_cycle, drain)
+        if not self.tx.empty:
+            self._ensure_sink(self.sink_next_free)
+
+    def _validate(self, packet: StreamPacket, drain: int) -> None:
+        packet.drained = drain
+        packet.latency = drain - packet.arrival
+        self.latencies.append(packet.latency)
+        self.payload_bits += packet.payload_bytes * 8
+        got_words = self.memory["sdram"].dump_words(
+            self._slot_base(packet.slot), len(packet.expected_words)
+        )
+        ok = (
+            tuple(packet.results) == tuple(packet.expected_results)
+            and got_words == list(packet.expected_words)
+        )
+        if ok:
+            packet.status = "done"
+            return
+        packet.status = "mismatch"
+        self.mismatches.append(
+            {
+                "packet": packet.seq,
+                "results": tuple(packet.results),
+                "expected_results": tuple(packet.expected_results),
+                "words": got_words,
+                "expected_words": list(packet.expected_words),
+            }
+        )
+
+    # -- the run -------------------------------------------------------------
+
+    def _finished(self) -> bool:
+        return self.source_done and self.accounted >= self.generated
+
+    def run(self) -> StreamResult:
+        config = self.config
+        with self.tracer.span(
+            "net.run",
+            app=self.app.name,
+            engines=config.engines,
+            threads=config.threads,
+            seed=config.seed,
+        ) as sp:
+            self._push(0, _EV_ARRIVE)
+            for worker in range(len(self.worker_state)):
+                self._push(0, _EV_WORKER, worker)
+            while self._heap:
+                time, _, kind, data = heapq.heappop(self._heap)
+                if config.max_cycles is not None and time > config.max_cycles:
+                    self.truncated = True
+                    break
+                if kind == _EV_ARRIVE:
+                    self._on_arrival(time)
+                elif kind == _EV_WORKER:
+                    self._on_worker(time, data)
+                else:
+                    self._on_sink(time)
+                if self._finished():
+                    break
+            result = StreamResult(
+                app=self.app.name,
+                config=config,
+                generated=self.generated,
+                completed=self.completed,
+                dropped=self.dropped,
+                mismatches=self.mismatches,
+                cycles=self.end_cycle,
+                latencies=self.latencies,
+                payload_bits=self.payload_bits,
+                rx_high_water=self.rx.high_water,
+                tx_high_water=self.tx.high_water,
+                engine_cycles=list(self.engine_clock),
+                engine_instructions=[
+                    sum(t.stats.instructions for t in m.threads)
+                    for m in self.machines
+                ],
+                truncated=self.truncated,
+                packets=self.packets,
+            )
+            if sp:
+                summary = result.summary()
+                summary.pop("app", None)
+                sp.add(**summary)
+                for latency in result.latencies:
+                    sp.bucket("latency", latency)
+            for engine, machine in enumerate(self.machines):
+                with self.tracer.span("net.engine") as esp:
+                    if esp:
+                        esp.add(
+                            engine=engine,
+                            cycles=self.engine_clock[engine],
+                            instructions=sum(
+                                t.stats.instructions for t in machine.threads
+                            ),
+                            packets=sum(
+                                t.stats.iterations for t in machine.threads
+                            ),
+                            mem_stall_cycles=sum(
+                                t.stats.mem_stall_cycles
+                                for t in machine.threads
+                            ),
+                        )
+        return result
+
+
+def run_stream(app: StreamApp, config: NetConfig, tracer=None) -> StreamResult:
+    """Convenience wrapper: build the runtime and run it."""
+    return NetRuntime(app, config, tracer).run()
+
+
+def stream_trace_lines(result: StreamResult, memory: MemorySystem | None = None) -> list[str]:
+    """A deterministic, human-readable run transcript (golden tests)."""
+    config = result.config
+    lines = [
+        f"app={result.app} engines={config.engines} threads={config.threads} "
+        f"seed={config.seed} arrival={config.arrival} packets={config.packets}",
+        f"rx_capacity={config.rx_capacity} tx_capacity={config.tx_capacity} "
+        f"sink_gap={config.sink_gap}",
+    ]
+    for packet in result.packets:
+        if packet.status == "dropped":
+            lines.append(
+                f"pkt {packet.seq:03d} bytes={packet.payload_bytes:<4d} "
+                f"arrival={packet.arrival:<8d} dropped"
+            )
+            continue
+        lines.append(
+            f"pkt {packet.seq:03d} bytes={packet.payload_bytes:<4d} "
+            f"arrival={packet.arrival:<8d} engine={packet.engine} "
+            f"dispatch={packet.dispatched:<8d} halt={packet.halted:<8d} "
+            f"drain={packet.drained:<8d} latency={packet.latency:<8d} "
+            f"{packet.status}"
+        )
+    lines.append(
+        f"generated={result.generated} completed={result.completed} "
+        f"dropped={result.dropped} mismatches={len(result.mismatches)}"
+    )
+    lines.append(
+        f"cycles={result.cycles} rx_hwm={result.rx_high_water} "
+        f"tx_hwm={result.tx_high_water} p50={result.percentile(50)} "
+        f"p95={result.percentile(95)}"
+    )
+    if memory is not None:
+        lines.append(f"memory_digest={memory_digest(memory)}")
+    return lines
+
+
+# --------------------------------------------------------------------------
+# ``novac pump`` CLI
+# --------------------------------------------------------------------------
+
+
+def pump_main(argv: list[str]) -> int:
+    """Entry point for ``novac pump`` (see :mod:`repro.cli`)."""
+    import argparse
+
+    from repro.compiler import CompileOptions, compile_nova
+    from repro.errors import NovaError
+    from repro.trace import Tracer
+
+    parser = argparse.ArgumentParser(
+        prog="novac pump",
+        description="drive a Section 11 app with a synthetic packet stream",
+    )
+    parser.add_argument("--app", choices=("aes", "kasumi", "nat"), required=True)
+    parser.add_argument("--engines", type=int, default=1)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--packets", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rx", type=int, default=32, metavar="N",
+                        help="RX ring capacity (default 32)")
+    parser.add_argument("--tx", type=int, default=32, metavar="N",
+                        help="TX ring capacity (default 32)")
+    parser.add_argument("--arrival", choices=("poisson", "constant", "backlog"),
+                        default="poisson")
+    parser.add_argument("--gap", type=float, default=64.0,
+                        help="mean cycles between bursts (default 64)")
+    parser.add_argument("--burst", type=int, default=1)
+    parser.add_argument("--sink-gap", type=int, default=0,
+                        help="cycles between TX drains (default 0 = line rate)")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="stop after this many cycles (default: packet budget)")
+    parser.add_argument("--payload-bytes", default=None, metavar="CSV",
+                        help="payload-size choices, e.g. 16,32,64")
+    parser.add_argument("--virtual", action="store_true",
+                        help="skip the ILP allocator (fast smoke runs)")
+    parser.add_argument("--interp", action="store_true",
+                        help="use the reference interpreter instead of the "
+                             "pre-decoded execution path")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="content-addressed compile cache directory")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span table (includes net.* spans)")
+    parser.add_argument("--trace-json", metavar="FILE",
+                        help="write spans as JSON lines")
+    args = parser.parse_args(argv)
+
+    sizes = None
+    if args.payload_bytes:
+        sizes = tuple(int(piece, 0) for piece in args.payload_bytes.split(","))
+
+    from repro.apps import build_aes_app, build_kasumi_app, build_nat_app
+
+    builder = {
+        "aes": build_aes_app,
+        "kasumi": build_kasumi_app,
+        "nat": build_nat_app,
+    }[args.app]
+    source = builder().source
+    options = CompileOptions()
+    options.run_allocator = not args.virtual
+    options.alloc.solve.time_limit = 900
+    tracer = Tracer() if (args.trace or args.trace_json) else None
+
+    import sys
+
+    try:
+        if args.cache_dir:
+            from repro.cache import CompileCache, cached_compile
+
+            cache = CompileCache(args.cache_dir, tracer)
+            comp, _ = cached_compile(
+                source, f"{args.app}.nova", options, cache, tracer
+            )
+        else:
+            comp = compile_nova(
+                source, f"{args.app}.nova", options, tracer=tracer
+            )
+    except NovaError as exc:
+        print(f"novac pump: {exc}", file=sys.stderr)
+        return 1
+
+    config = NetConfig(
+        engines=args.engines,
+        threads=args.threads,
+        rx_capacity=args.rx,
+        tx_capacity=args.tx,
+        packets=args.packets,
+        max_cycles=args.cycles,
+        seed=args.seed,
+        arrival=args.arrival,
+        mean_gap=args.gap,
+        burst=args.burst,
+        sink_gap=args.sink_gap,
+        decode=not args.interp,
+    )
+    try:
+        result = run_stream(stream_app(args.app, comp, sizes), config, tracer)
+    except (SimulatorError, ValueError) as exc:
+        print(f"novac pump: {exc}", file=sys.stderr)
+        return 1
+
+    summary = result.summary()
+    mode = "virtual" if args.virtual else "physical"
+    print(f"pump {args.app} ({mode}, {'interp' if args.interp else 'decoded'})")
+    for key in (
+        "engines", "threads", "generated", "completed", "dropped",
+        "mismatches", "cycles", "mbps", "latency_p50", "latency_p95",
+        "latency_max", "rx_high_water", "tx_high_water",
+    ):
+        print(f"  {key:<14} {summary[key]}")
+    if result.truncated:
+        print("  (truncated by --cycles budget)")
+    hist = result.latency_histogram()
+    if hist:
+        widest = max(hist.values())
+        print("  latency histogram (cycles):")
+        for bound, count in hist.items():
+            bar = "#" * max(1, round(count * 40 / widest))
+            print(f"    <= {bound:<10d} {count:>5d} {bar}")
+    if tracer is not None:
+        if args.trace:
+            print(tracer.table())
+        if args.trace_json:
+            tracer.write_jsonl(args.trace_json)
+    if result.mismatches:
+        for mismatch in result.mismatches[:5]:
+            print(
+                f"novac pump: packet {mismatch['packet']} mismatched the "
+                "reference implementation",
+                file=sys.stderr,
+            )
+        return 1
+    return 0

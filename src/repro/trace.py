@@ -87,6 +87,19 @@ class SpanHandle:
         counters[key] = counters.get(key, 0) + amount
         return self
 
+    def bucket(self, key: str, value: float) -> "SpanHandle":
+        """Tally ``value`` into a power-of-two histogram counter.
+
+        Records under ``<key>.le_<2^k>`` for the smallest ``2^k >=
+        value`` (``<key>.le_1`` for values <= 1), so a span accumulates
+        a compact log2 latency/size histogram without the caller
+        keeping one.
+        """
+        bound = 1
+        while bound < value:
+            bound <<= 1
+        return self.tally(f"{key}.le_{bound}")
+
     def __bool__(self) -> bool:
         return True
 
@@ -110,6 +123,9 @@ class _NullHandle:
         return self
 
     def tally(self, key: str, amount: float = 1) -> "_NullHandle":
+        return self
+
+    def bucket(self, key: str, value: float) -> "_NullHandle":
         return self
 
     def __bool__(self) -> bool:

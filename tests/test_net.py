@@ -1,0 +1,213 @@
+"""Streaming-runtime behaviour: backpressure, drops, determinism,
+sink validation, and the throughput zero-division guards.
+
+Everything here runs *virtual* (pre-allocation) compilations — fully
+deterministic, no ILP solve — through small NAT/Kasumi streams; the
+allocated path is exercised end to end by
+``benchmarks/test_net_throughput.py``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.driver import ThroughputResult
+from repro.errors import SimulatorError
+from repro.ixp.machine import RunResult, ThreadStats
+from repro.ixp.net import (
+    NetConfig,
+    NetRuntime,
+    StreamResult,
+    run_stream,
+    stream_app,
+)
+from repro.trace import Tracer
+
+from tests.helpers import compile_virtual
+
+
+@pytest.fixture(scope="module")
+def nat_stream():
+    app = stream_app("nat", None)
+    return dataclasses.replace(app, comp=compile_virtual(app.bundle.source))
+
+
+@pytest.fixture(scope="module")
+def kasumi_stream():
+    app = stream_app("kasumi", None, (8, 16))
+    return dataclasses.replace(app, comp=compile_virtual(app.bundle.source))
+
+
+def test_stream_completes_and_validates(nat_stream):
+    result = run_stream(
+        nat_stream, NetConfig(packets=16, seed=2, arrival="backlog",
+                              rx_capacity=32)
+    )
+    assert result.generated == result.completed == 16
+    assert result.dropped == 0
+    assert result.mismatches == []
+    assert all(p.status == "done" for p in result.packets)
+    assert result.cycles > 0 and result.mbps > 0
+    assert len(result.latencies) == 16
+    assert result.rx_high_water <= 32
+
+
+def test_overload_drops_at_rx_and_accounts_every_packet(nat_stream):
+    # 4-packet RX ring, packets arriving far faster than one engine
+    # drains them: the receive unit must tail-drop, and every generated
+    # packet must end up either completed or dropped.
+    config = NetConfig(
+        packets=48, seed=5, arrival="constant", mean_gap=4, burst=2,
+        rx_capacity=4, tx_capacity=4, threads=2,
+    )
+    result = run_stream(nat_stream, config)
+    assert result.dropped > 0
+    assert result.completed + result.dropped == result.generated == 48
+    assert result.mismatches == []
+    assert result.rx_high_water == 4  # the ring actually filled
+    assert 0 < result.drop_rate < 1
+    statuses = {p.status for p in result.packets}
+    assert statuses == {"done", "dropped"}
+
+
+def test_slow_sink_backpressures_workers(nat_stream):
+    # A sink that drains one packet per 3000 cycles with a tiny TX ring:
+    # workers must hit a full TX ring and retry (tx_stalls), and the TX
+    # high-water mark must reach the ring's capacity.
+    config = NetConfig(
+        packets=12, seed=3, arrival="backlog", rx_capacity=16,
+        tx_capacity=2, sink_gap=3000,
+    )
+    result = run_stream(nat_stream, config)
+    assert result.completed == 12
+    assert result.tx_high_water == 2
+    assert sum(p.tx_stalls for p in result.packets) > 0
+    # drains are spaced by the sink gap, so latency grows along the run
+    drains = sorted(p.drained for p in result.packets)
+    assert all(b - a >= 3000 for a, b in zip(drains, drains[1:]))
+
+
+def test_same_seed_reproduces_exactly(kasumi_stream):
+    config = NetConfig(packets=20, seed=11, arrival="poisson", mean_gap=40,
+                       engines=2, threads=2)
+    a = run_stream(kasumi_stream, config)
+    b = run_stream(kasumi_stream, config)
+    assert a.summary() == b.summary()
+    assert [dataclasses.asdict(p) for p in a.packets] == [
+        dataclasses.asdict(p) for p in b.packets
+    ]
+
+
+def test_different_seeds_differ(kasumi_stream):
+    config = NetConfig(packets=20, seed=11, arrival="poisson", mean_gap=40)
+    a = run_stream(kasumi_stream, config)
+    b = run_stream(
+        kasumi_stream, dataclasses.replace(config, seed=12)
+    )
+    assert [p.payload_words for p in a.packets] != [
+        p.payload_words for p in b.packets
+    ]
+
+
+def test_multi_engine_spreads_work(nat_stream):
+    config = NetConfig(engines=4, threads=2, packets=32, seed=9,
+                       arrival="backlog", rx_capacity=40)
+    result = run_stream(nat_stream, config)
+    assert result.completed == 32
+    engines_used = {p.engine for p in result.packets}
+    assert len(engines_used) > 1, "work never left the first engine"
+    assert len(result.engine_cycles) == 4
+    assert sum(result.engine_instructions) > 0
+
+
+def test_sink_catches_corrupted_reference(nat_stream):
+    # Poison one packet's expectations: the sink must flag exactly it.
+    runtime = NetRuntime(
+        nat_stream, NetConfig(packets=6, seed=2, arrival="backlog",
+                              rx_capacity=8)
+    )
+    original = runtime.app.generate
+
+    def poisoned(rng, seq):
+        packet = original(rng, seq)
+        if seq == 3:
+            packet.expected_results = (0xDEAD,)
+        return packet
+
+    runtime.app = dataclasses.replace(runtime.app, generate=poisoned)
+    result = runtime.run()
+    assert [m["packet"] for m in result.mismatches] == [3]
+    assert result.packets[3].status == "mismatch"
+    assert sum(p.status == "done" for p in result.packets) == 5
+
+
+def test_net_spans_record_latency_histogram(nat_stream):
+    tracer = Tracer()
+    run_stream(
+        nat_stream,
+        NetConfig(packets=8, seed=2, arrival="backlog", rx_capacity=16,
+                  engines=2),
+        tracer,
+    )
+    run_span = tracer.get("net.run")
+    assert run_span is not None
+    assert run_span.counters["completed"] == 8
+    assert run_span.counters["mismatches"] == 0
+    buckets = {
+        k: v for k, v in run_span.counters.items()
+        if k.startswith("latency.le_")
+    }
+    assert sum(buckets.values()) == 8
+    assert len(tracer.all("net.engine")) == 2
+
+
+def test_ring_regions_must_fit_in_scratch(nat_stream):
+    with pytest.raises(SimulatorError, match="does not fit"):
+        NetRuntime(nat_stream, NetConfig(rx_capacity=2048))
+
+
+def test_bad_arrival_process_rejected(nat_stream):
+    with pytest.raises(ValueError, match="unknown arrival"):
+        run_stream(nat_stream, NetConfig(packets=2, arrival="bursty"))
+
+
+def test_truncation_by_cycle_budget(nat_stream):
+    config = NetConfig(packets=64, seed=2, arrival="backlog",
+                       rx_capacity=80, max_cycles=2000)
+    result = run_stream(nat_stream, config)
+    assert result.truncated
+    assert result.completed < result.generated
+    assert result.cycles <= 2000 + 5000  # last slice may overshoot a bit
+
+
+# -- throughput zero-division guards (the driver dataclass used to
+#    divide by run.cycles unguarded) --------------------------------------
+
+
+def _empty_run() -> RunResult:
+    return RunResult(cycles=0, thread_stats=[ThreadStats()], results=[])
+
+
+def test_throughput_result_mbps_zero_cycles():
+    result = ThroughputResult(
+        run=_empty_run(), payload_bytes=64, packets=0, threads=1
+    )
+    assert result.mbps == 0.0
+    assert result.cycles_per_packet == 0.0
+
+
+def test_run_result_throughput_zero_cycles():
+    assert _empty_run().throughput_mbps(64) == 0.0
+
+
+def test_stream_result_mbps_zero_cycles():
+    result = StreamResult(
+        app="nat", config=NetConfig(), generated=0, completed=0, dropped=0,
+        mismatches=[], cycles=0, latencies=[], payload_bits=0,
+        rx_high_water=0, tx_high_water=0, engine_cycles=[0],
+        engine_instructions=[0],
+    )
+    assert result.mbps == 0.0
+    assert result.drop_rate == 0.0
+    assert result.percentile(50) == -1
+    assert result.latency_histogram() == {}

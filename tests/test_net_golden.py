@@ -1,0 +1,79 @@
+"""Golden regression for the streaming runtime: a fixed-seed NAT trace.
+
+One seeded NAT stream (virtual compilation — deterministic across
+platforms, like the listing goldens) is rendered to a line-per-packet
+transcript pinning packet order, per-packet timing, drop count, queue
+high-water marks and a digest of the final memory image, and compared
+byte-for-byte against ``tests/goldens/net_nat_stream.golden``.  Any
+change to ring costs, the port model, worker scheduling or the arrival
+process shows up as a readable diff.
+
+To accept intentional timing-model changes::
+
+    PYTHONPATH=src python -m pytest tests/test_net_golden.py --update-goldens
+"""
+
+import pathlib
+
+import pytest
+
+from repro.ixp.net import NetConfig, NetRuntime, stream_app, stream_trace_lines
+
+from tests.helpers import compile_virtual
+
+GOLDENS = pathlib.Path(__file__).resolve().parent / "goldens"
+GOLDEN_PATH = GOLDENS / "net_nat_stream.golden"
+
+#: deliberately overloaded: a small RX ring plus bursty arrivals force
+#: drops, so the golden pins the drop accounting too.
+CONFIG = NetConfig(
+    engines=2,
+    threads=2,
+    rx_capacity=6,
+    tx_capacity=4,
+    packets=24,
+    seed=1234,
+    arrival="poisson",
+    mean_gap=24.0,
+    burst=2,
+    sink_gap=50,
+)
+
+
+def _transcript() -> str:
+    import dataclasses
+
+    app = stream_app("nat", None)
+    app = dataclasses.replace(app, comp=compile_virtual(app.bundle.source))
+    runtime = NetRuntime(app, CONFIG)
+    result = runtime.run()
+    return "\n".join(stream_trace_lines(result, runtime.memory)) + "\n"
+
+
+def test_nat_stream_reproduces_exactly_across_runs():
+    assert _transcript() == _transcript()
+
+
+def test_nat_stream_matches_golden(update_goldens):
+    transcript = _transcript()
+    if update_goldens:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(transcript)
+        pytest.skip(f"updated {GOLDEN_PATH.name}")
+    assert GOLDEN_PATH.exists(), (
+        "missing streaming golden; run pytest with --update-goldens"
+    )
+    assert transcript == GOLDEN_PATH.read_text(), (
+        f"streaming transcript drifted from {GOLDEN_PATH.name}; if the "
+        "timing-model change is intentional, rerun with --update-goldens"
+    )
+
+
+def test_golden_covers_drops_and_contention():
+    """The pinned scenario must actually exercise the interesting paths
+    (otherwise the golden silently stops guarding them)."""
+    transcript = _transcript()
+    assert " dropped" in transcript
+    assert "memory_digest=" in transcript
+    lines = transcript.splitlines()
+    assert sum(1 for line in lines if line.startswith("pkt ")) == 24

@@ -1,0 +1,56 @@
+"""CI coverage gate: compare a pytest-cov JSON report to the recorded
+baseline floor.
+
+CI runs the tier-1 suite under ``pytest --cov=repro --cov-report=json``
+(pytest-cov is a CI-only dependency — the local environment does not
+need it) and then::
+
+    python tools/coverage_gate.py coverage.json
+
+The gate fails when total line coverage drops below the floor in
+``COVERAGE_baseline.json`` at the repo root.  The floor is deliberately
+conservative; to ratchet it, raise ``floor_percent`` to just below the
+``last_observed`` value a CI run printed and commit both numbers.
+"""
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_FILE = ROOT / "COVERAGE_baseline.json"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: coverage_gate.py <coverage.json>", file=sys.stderr)
+        return 2
+    report_path = pathlib.Path(argv[0])
+    if not report_path.exists():
+        print(f"coverage_gate: {report_path} missing — run pytest with "
+              "--cov=repro --cov-report=json first", file=sys.stderr)
+        return 2
+    report = json.loads(report_path.read_text())
+    percent = report["totals"]["percent_covered"]
+    baseline = json.loads(BASELINE_FILE.read_text())
+    floor = baseline["floor_percent"]
+
+    worst = sorted(
+        report.get("files", {}).items(),
+        key=lambda item: item[1]["summary"]["percent_covered"],
+    )[:5]
+    print(f"coverage_gate: total {percent:.2f}% (floor {floor:.2f}%)")
+    for path, data in worst:
+        print(f"  lowest: {path} "
+              f"{data['summary']['percent_covered']:.1f}%")
+    if percent < floor:
+        print(f"coverage_gate: FAIL total coverage {percent:.2f}% fell "
+              f"below the recorded floor {floor:.2f}%", file=sys.stderr)
+        return 1
+    print(f"coverage_gate: ok (ratchet by setting floor_percent toward "
+          f"{percent:.2f} in {BASELINE_FILE.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
