@@ -9,7 +9,7 @@ Usage::
     novac --jobs 4 a.nova b.nova    # batch-compile over a process pool
     novac --cache-dir .cache *.nova # content-addressed compile cache
     novac fuzz --seed 0 --count 200 # differential fuzzing campaign
-    novac pump --app nat --engines 4 # multi-engine packet streaming
+    novac pump --app nat --chips 2  # whole-chip packet streaming (6x4)
 
 With more than one source file ``novac`` switches to batch mode: every
 file is compiled (failures don't stop the rest), a one-line outcome per

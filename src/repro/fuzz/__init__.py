@@ -17,10 +17,14 @@ statistically instead of anecdotally:
   (parallel fan-out through :func:`repro.batch.scatter`, crash-artifact
   directories, per-config trace spans);
 - :mod:`repro.fuzz.inject` — deliberate miscompilation hooks used to
-  prove the oracle and shrinker actually work.
+  prove the oracle and shrinker actually work;
+- :mod:`repro.fuzz.netmeta` — metamorphic checks for the streaming
+  runtime's flow-hash steering (flow affinity, per-flow order, packet
+  conservation, engine-count independence).
 """
 
 from repro.fuzz.gen import GenConfig, GenProgram, generate
+from repro.fuzz.netmeta import check_result, check_steering
 from repro.fuzz.oracle import (
     Divergence,
     FuzzConfig,
@@ -39,6 +43,8 @@ __all__ = [
     "OracleReport",
     "check_generated",
     "check_program",
+    "check_result",
+    "check_steering",
     "default_configs",
     "generate",
     "shrink",

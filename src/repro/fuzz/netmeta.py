@@ -1,0 +1,147 @@
+"""``repro.fuzz.netmeta`` — metamorphic checks for flow-hash steering.
+
+The differential oracle (:mod:`repro.fuzz.oracle`) pins the *compiler*:
+every configuration must produce bit-identical results.  This module
+pins the *streaming runtime* the same way — properties of the dispatch
+stage and the per-engine RX rings that must hold for any app, seed and
+topology:
+
+- **conservation** — ``generated == completed + dropped + inflight``
+  and ``sum(steered) == generated``;
+- **flow affinity** — every packet of one flow is steered to the same
+  engine (the whole point of hashing the flow key);
+- **per-flow order** — a flow's packets are pulled off its engine's RX
+  ring in arrival (sequence) order — the ring is FIFO and the dispatch
+  stage pushes in arrival order — and with one thread per engine they
+  also *drain* in sequence order end to end;
+- **engine-count independence** — the per-packet results of a run are a
+  function of the traffic, not the topology: the same seed must produce
+  the same ``(seq, results)`` set on 1, 2 or 6 engines (rings are sized
+  so nothing drops; drops legitimately depend on topology).
+
+:func:`check_steering` runs one app through several topologies and
+returns human-readable violation strings — an empty list is a pass.
+"""
+
+from __future__ import annotations
+
+from repro.ixp.net import NetConfig, StreamApp, StreamResult, run_stream
+
+#: engine counts compared for topology independence.
+DEFAULT_ENGINE_COUNTS = (1, 2, 6)
+
+
+def _run(
+    app: StreamApp,
+    engines: int,
+    threads: int,
+    packets: int,
+    seed: int,
+    steer: str = "flow",
+) -> StreamResult:
+    # Rings large enough that nothing ever drops: drops are the one
+    # outcome that legitimately depends on topology.
+    config = NetConfig(
+        engines=engines,
+        threads=threads,
+        rx_capacity=packets + 4,
+        tx_capacity=packets + 4,
+        packets=packets,
+        seed=seed,
+        arrival="backlog",
+        steer=steer,
+    )
+    return run_stream(app, config)
+
+
+def check_result(result: StreamResult) -> list[str]:
+    """Single-run invariants; returns violation strings (empty = pass)."""
+    violations: list[str] = []
+    if (
+        result.generated
+        != result.completed + result.dropped + result.inflight
+    ):
+        violations.append(
+            f"conservation violated: generated={result.generated} != "
+            f"completed={result.completed} + dropped={result.dropped} + "
+            f"inflight={result.inflight}"
+        )
+    if sum(result.steered) != result.generated:
+        violations.append(
+            f"steering lost packets: steered={result.steered} "
+            f"sums to {sum(result.steered)}, generated={result.generated}"
+        )
+    if result.mismatches:
+        violations.append(
+            f"{len(result.mismatches)} packets mismatched the reference"
+        )
+    if result.dropped:
+        violations.append(
+            f"{result.dropped} drops despite oversize rings "
+            f"(per-engine drops: {result.rx_drops})"
+        )
+    flow_engine: dict[int, int] = {}
+    by_flow: dict[int, list] = {}
+    for packet in result.packets:
+        if packet.engine < 0:
+            continue
+        first = flow_engine.setdefault(packet.flow, packet.engine)
+        if first != packet.engine:
+            violations.append(
+                f"flow {packet.flow:#x} split across engines "
+                f"{first} and {packet.engine}"
+            )
+        if packet.status in ("done", "mismatch"):
+            by_flow.setdefault(packet.flow, []).append(packet)
+    for flow, packets in by_flow.items():
+        packets.sort(key=lambda p: p.seq)
+        pulls = [p.dispatched for p in packets]
+        if pulls != sorted(pulls):
+            violations.append(
+                f"flow {flow:#x} pulled off its RX ring out of "
+                f"sequence order: {pulls}"
+            )
+        if result.config.threads == 1:
+            drains = [p.drained for p in packets]
+            if drains != sorted(drains):
+                violations.append(
+                    f"flow {flow:#x} drained out of sequence order "
+                    f"with one thread per engine: {drains}"
+                )
+    return violations
+
+
+def check_steering(
+    app: StreamApp,
+    packets: int = 48,
+    seed: int = 0,
+    engine_counts: tuple[int, ...] = DEFAULT_ENGINE_COUNTS,
+    threads: int = 2,
+) -> list[str]:
+    """Metamorphic steering check over several topologies.
+
+    Streams identical seeded traffic through each engine count (plus a
+    one-thread run for the end-to-end order invariant) and returns
+    every violation found; an empty list means all invariants hold.
+    """
+    violations: list[str] = []
+    outcomes: dict[int, list] = {}
+    for engines in engine_counts:
+        result = _run(app, engines, threads, packets, seed)
+        violations.extend(f"[{engines}e] {v}" for v in check_result(result))
+        outcomes[engines] = sorted(
+            (p.seq, tuple(p.results))
+            for p in result.packets
+            if p.status == "done"
+        )
+    baseline_engines = engine_counts[0]
+    baseline = outcomes[baseline_engines]
+    for engines, outcome in outcomes.items():
+        if outcome != baseline:
+            violations.append(
+                f"per-packet results differ between {baseline_engines} "
+                f"and {engines} engines"
+            )
+    single = _run(app, max(engine_counts), 1, packets, seed)
+    violations.extend(f"[1t] {v}" for v in check_result(single))
+    return violations

@@ -941,7 +941,9 @@ def _decode_halt(instr: isa.HaltInstr, physical: bool) -> Callable:
                     raise SimulatorError(msg) from None
             else:
                 values.append(payload)
-        thread.machine.results.append((thread.tid, tuple(values)))
+        values = tuple(values)
+        thread.halt_values = values
+        thread.machine.results.append((thread.tid, values))
         thread.stats.iterations += 1
         thread.iteration += 1
         thread.restart()
@@ -1041,6 +1043,10 @@ class _Thread:
         self.done = False
         self.stats = ThreadStats()
         self.iteration = 0
+        #: halt values of this thread's most recent halt, until taken
+        #: via :meth:`Machine.take_result` (external schedulers consume
+        #: results per thread rather than indexing the shared list).
+        self.halt_values: tuple[int, ...] | None = None
 
     def load(self, inputs: dict) -> None:
         """Reset the thread to the graph entry with a fresh register
@@ -1136,6 +1142,23 @@ class Machine:
         thread.load(inputs)
         thread.done = False
         thread.ready_at = at
+
+    def take_result(self, tid: int) -> tuple[int, ...] | None:
+        """Return and clear thread ``tid``'s most recent halt values.
+
+        External schedulers consume results through this per-thread
+        hand-off; the shared :attr:`results` list stays append-only for
+        :meth:`run`'s :class:`RunResult`, but indexing it globally is
+        wrong once several threads of one engine halt in interleaved
+        scheduler slices.  Returns ``None`` if the thread has not
+        halted since the last take.  If a thread halts more than once
+        between takes (an input provider immediately refilling it), the
+        latest halt wins — schedulers that care take after every slice.
+        """
+        thread = self.threads[tid]
+        values = thread.halt_values
+        thread.halt_values = None
+        return values
 
     def run(self) -> RunResult:
         with self.tracer.span("simulate") as sp:
@@ -1328,6 +1351,7 @@ class Machine:
             return 2, None
         if isinstance(instr, isa.HaltInstr):
             values = tuple(regs.read(r) for r in instr.results)
+            thread.halt_values = values
             self.results.append((thread.tid, values))
             thread.stats.iterations += 1
             thread.iteration += 1

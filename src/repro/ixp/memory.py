@@ -211,6 +211,55 @@ class ScratchRing:
 
 
 @dataclass
+class RingGroup:
+    """A bank of same-capacity rings laid out contiguously in one space.
+
+    The whole-chip streaming topology gives every micro-engine its own
+    RX ring (the dispatch stage steers packets by flow hash); this
+    groups the per-engine rings behind one handle with aggregate
+    accounting, while each member stays an ordinary named
+    :class:`ScratchRing` (``<name>0``, ``<name>1``, …) addressable by
+    the ``ring.enq``/``ring.deq`` instructions and visible in the
+    memory image like any other ring.
+    """
+
+    name: str
+    rings: list[ScratchRing]
+
+    def __len__(self) -> int:
+        return len(self.rings)
+
+    def __iter__(self):
+        return iter(self.rings)
+
+    def __getitem__(self, index: int) -> ScratchRing:
+        return self.rings[index]
+
+    @property
+    def capacity(self) -> int:
+        return self.rings[0].capacity if self.rings else 0
+
+    @property
+    def high_water(self) -> int:
+        """Deepest occupancy any member ring ever reached."""
+        return max((ring.high_water for ring in self.rings), default=0)
+
+    def high_waters(self) -> list[int]:
+        return [ring.high_water for ring in self.rings]
+
+    def depths(self) -> list[int]:
+        return [ring.depth() for ring in self.rings]
+
+    @property
+    def enqueues(self) -> int:
+        return sum(ring.enqueues for ring in self.rings)
+
+    @property
+    def dequeues(self) -> int:
+        return sum(ring.dequeues for ring in self.rings)
+
+
+@dataclass
 class MemorySystem:
     spaces: dict[str, MemorySpace]
     #: named ring queues layered over reserved regions of the spaces.
@@ -238,6 +287,27 @@ class MemorySystem:
         ring = ScratchRing(name, self[space], base, capacity)
         self.rings[name] = ring
         return ring
+
+    def add_ring_group(
+        self,
+        name: str,
+        base: int,
+        capacity: int,
+        count: int,
+        space: str = "scratch",
+    ) -> RingGroup:
+        """Reserve ``count`` rings of ``capacity`` laid out back to back
+        from ``base``; member ``i`` registers as ring ``f"{name}{i}"``."""
+        if count <= 0:
+            raise SimulatorError(f"ring group '{name}': count must be > 0")
+        stride = 2 + capacity
+        return RingGroup(
+            name,
+            [
+                self.add_ring(f"{name}{i}", base + i * stride, capacity, space)
+                for i in range(count)
+            ],
+        )
 
     def ring(self, name: str) -> ScratchRing:
         try:

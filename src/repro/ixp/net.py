@@ -11,12 +11,17 @@ in:
   interleaved on one global event clock over a *shared*
   :class:`~repro.ixp.memory.MemorySystem`, so engines contend for the
   SRAM/SDRAM/scratch service ports exactly like threads already do
-  within one engine;
-- **bounded scratch rings** — an RX ring carries packet descriptors
-  from the synthetic receive unit to worker threads, a TX ring carries
-  them to the transmit sink; every enqueue/dequeue is a single-word
-  scratch transfer (port occupancy + latency), full rings drop at RX
-  (tail drop) and *backpressure* workers at TX;
+  within one engine (the paper's full chip, 6 engines x 4 threads, is
+  the default topology);
+- **per-engine RX rings with flow-hash steering** — a dispatch stage
+  steers every arriving packet to one engine's private RX ring by a
+  hash of its flow key (app-supplied ``flow_key``; NAT keys on the
+  source/destination address pair so per-flow ordering is preserved,
+  other apps default to a hash of the packet sequence number), then a
+  shared TX ring carries finished descriptors to the transmit sink;
+  every enqueue/dequeue is a single-word scratch transfer (port
+  occupancy + latency), a full target ring drops at dispatch (tail
+  drop) and a full TX ring *backpressures* workers;
 - **a seeded traffic source** — configurable arrival process (poisson /
   constant / backlog), payload-size distribution and burst factor;
 - **a validating TX sink** — every drained packet is checked word for
@@ -29,18 +34,31 @@ in:
 Scheduling model
 ----------------
 
-A single global event heap orders three actors — arrivals, workers
-(one per hardware thread per engine), and the sink — by cycle time.
-Each engine keeps its own clock (engines run in parallel in hardware);
-a worker slice runs its thread through the engine's existing stepping
-primitives (:meth:`Machine.service`) from ``max(engine clock, event
-time)``.  Worker ring interaction happens at the scheduling layer: a
-thread that finishes a packet (halt) enqueues its descriptor on the TX
-ring and dequeues the next from RX, paying the ring's scratch-port
-costs; an empty RX or full TX re-polls every ``poll`` cycles.  This is
-the receive/transmit scheduler glue the paper says ships with every
-application — hand-written ring code can use the ``ring.enq`` /
-``ring.deq`` instructions directly (see ``docs/NETWORKING.md``).
+A single global event heap orders four actors — arrivals, the dispatch
+stage, workers (one per hardware thread per engine), and the sink — by
+cycle time.  Each engine keeps its own clock (engines run in parallel
+in hardware); a worker slice runs its thread through the engine's
+existing stepping primitives (:meth:`Machine.service`) from
+``max(engine clock, event time)``.  The dispatch stage reserves room in
+the steered engine's ring at arrival (or tail-drops) and performs the
+actual ring push ``dispatch_cycles`` later — the descriptor only
+becomes pollable once the push lands, so worker *retirement* must not
+key on ring emptiness alone: a worker goes dormant only when the
+source is done **and** nothing steered to its engine is still queued
+or in the dispatch stage (``pending``), the condition under which no
+packet can ever reach its ring.  Worker ring interaction happens at
+the scheduling layer: a thread that finishes a packet (halt) enqueues
+its descriptor on the TX ring and dequeues the next from its engine's
+RX ring, paying the ring's scratch-port costs; an empty RX or full TX
+re-polls every ``poll`` cycles.  This is the receive/transmit
+scheduler glue the paper says ships with every application —
+hand-written ring code can use the ``ring.enq`` / ``ring.deq``
+instructions directly (see ``docs/NETWORKING.md``).
+
+Whole-chip scale-out: :func:`run_sharded` runs N independent chips
+(each a full 6x4 :class:`NetRuntime`) over the :mod:`repro.batch`
+process pool with per-chip seeds, aggregating the per-chip
+:class:`StreamResult`\\ s into one deployment-level report.
 """
 
 from __future__ import annotations
@@ -50,24 +68,34 @@ import heapq
 import random
 from collections import deque
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Callable
 
 from repro.errors import SimulatorError
-from repro.ixp.machine import CLOCK_MHZ, Machine
+from repro.ixp.machine import CLOCK_MHZ, Machine, hash48
 from repro.ixp.memory import MemorySystem
-from repro.trace import ensure
+from repro.trace import ensure, log2_bound
 
 #: event kinds on the global heap (tie-broken by sequence number).
-_EV_ARRIVE, _EV_WORKER, _EV_SINK = 0, 1, 2
+_EV_ARRIVE, _EV_WORKER, _EV_SINK, _EV_PUSH = 0, 1, 2, 3
+
+#: recognised dispatch-steering policies.
+STEER_MODES = ("flow", "rr")
 
 
 @dataclass
 class NetConfig:
-    """Streaming-run parameters (all cycle values in engine cycles)."""
+    """Streaming-run parameters (all cycle values in engine cycles).
 
-    engines: int = 1
+    The defaults are the paper's full chip: 6 micro-engines x 4
+    hardware threads, each engine with a private RX ring fed by the
+    flow-hash dispatch stage.
+    """
+
+    engines: int = 6
     #: hardware threads per engine.
     threads: int = 4
+    #: capacity of each engine's private RX ring.
     rx_capacity: int = 32
     tx_capacity: int = 32
     #: packet budget: the source stops after this many packets.
@@ -88,6 +116,13 @@ class NetConfig:
     #: re-poll interval for idle workers (empty RX) and backpressured
     #: workers (full TX).
     poll: int = 16
+    #: dispatch policy: 'flow' steers by a hash of the packet's flow
+    #: key (same flow -> same engine), 'rr' round-robins by sequence.
+    steer: str = "flow"
+    #: cycles between a packet's arrival at the receive unit and its
+    #: descriptor's ring push landing (the dispatch stage's steering +
+    #: descriptor-write latency; the descriptor is pollable only then).
+    dispatch_cycles: int = 8
     #: run the pre-decoded execution path (False = interpreter).
     decode: bool = True
 
@@ -105,6 +140,9 @@ class StreamPacket:
     expected_words: list[int]
     arrival: int = 0
     slot: int | None = None
+    #: flow identity (the app's flow key, or a hash of ``seq``).
+    flow: int = 0
+    #: steered engine — fixed by the dispatch stage at arrival.
     engine: int = -1
     thread: int = -1
     rx_ready: int = 0
@@ -130,6 +168,9 @@ class StreamApp:
     slot_words: int
     #: (rng, seq) -> StreamPacket with payload + expectations filled.
     generate: Callable[[random.Random, int], StreamPacket]
+    #: packet -> flow identity for dispatch steering (same key -> same
+    #: engine); ``None`` defaults to a hash of the packet sequence.
+    flow_key: Callable[[StreamPacket], int] | None = None
 
 
 @dataclass
@@ -147,11 +188,20 @@ class StreamResult:
     latencies: list[int]
     #: payload bits of *completed* packets (throughput numerator).
     payload_bits: int
+    #: deepest occupancy across all per-engine RX rings.
     rx_high_water: int
     tx_high_water: int
     engine_cycles: list[int]
     engine_instructions: list[int]
+    #: packets still queued or on an engine when the run stopped (only
+    #: non-zero on ``max_cycles`` truncation); the conservation law
+    #: ``generated == completed + dropped + inflight`` always holds.
+    inflight: int = 0
     truncated: bool = False
+    #: per-engine RX ring high-water marks / tail drops / steered counts.
+    rx_high_waters: list[int] = field(default_factory=list)
+    rx_drops: list[int] = field(default_factory=list)
+    steered: list[int] = field(default_factory=list)
     packets: list[StreamPacket] = field(default_factory=list, repr=False)
 
     @property
@@ -169,20 +219,26 @@ class StreamResult:
         return self.dropped / self.generated
 
     def percentile(self, p: float) -> int:
-        """Nearest-rank latency percentile (cycles); -1 if no packets."""
-        if not self.latencies:
-            return -1
-        ordered = sorted(self.latencies)
-        rank = max(1, -(-len(ordered) * p // 100))  # ceil
-        return ordered[min(len(ordered), int(rank)) - 1]
+        """Nearest-rank latency percentile (cycles); -1 if no packets.
+
+        ``p`` must lie in [0, 100].  ``p == 0`` is defined as the
+        minimum and ``p == 100`` as the maximum; in between the rank is
+        ``ceil(n * p / 100)``, computed with exact rational arithmetic
+        so a float ``p`` can never drift the rank across a boundary.
+        """
+        return nearest_rank(self.latencies, p)
 
     def latency_histogram(self) -> dict[int, int]:
-        """Log2 buckets: upper bound (cycles) → packet count."""
+        """Log2 buckets: upper bound (cycles) → packet count.
+
+        Bucketing is :func:`repro.trace.log2_bound` — the same helper
+        trace spans use — so run summaries and ``net.run`` span
+        histograms agree bucket for bucket (values <= 1 land in bucket
+        1, exact powers of two in their own bound).
+        """
         hist: dict[int, int] = {}
         for latency in self.latencies:
-            bound = 1
-            while bound < latency:
-                bound <<= 1
+            bound = log2_bound(latency)
             hist[bound] = hist.get(bound, 0) + 1
         return dict(sorted(hist.items()))
 
@@ -194,6 +250,7 @@ class StreamResult:
             "generated": self.generated,
             "completed": self.completed,
             "dropped": self.dropped,
+            "inflight": self.inflight,
             "mismatches": len(self.mismatches),
             "cycles": self.cycles,
             "mbps": round(self.mbps, 3),
@@ -204,6 +261,29 @@ class StreamResult:
             "tx_high_water": self.tx_high_water,
             "truncated": self.truncated,
         }
+
+
+def nearest_rank(latencies: list[int], p: float) -> int:
+    """Exact nearest-rank percentile over ``latencies``; -1 when empty.
+
+    Shared by :class:`StreamResult` and :class:`ShardedResult`.  The
+    rank ``ceil(n * p / 100)`` is evaluated over :class:`~fractions.
+    Fraction` (exact for both int and float ``p``), with ``p == 0``
+    pinned to the minimum — the old ``max(1, ...)`` clamp silently
+    aliased p=0 onto rank 1, and float multiplication could drift the
+    floor-division across a rank boundary.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not latencies:
+        return -1
+    ordered = sorted(latencies)
+    if p == 0:
+        return ordered[0]
+    n = len(ordered)
+    scaled = Fraction(p) * n  # exact: Fraction(float) has no rounding
+    rank = -(-scaled.numerator // (scaled.denominator * 100))  # ceil
+    return ordered[min(n, rank) - 1]
 
 
 def memory_digest(memory: MemorySystem) -> str:
@@ -335,7 +415,16 @@ def _nat_stream_app(comp) -> StreamApp:
             expected_words=words[:5] + header,
         )
 
-    return StreamApp("nat", bundle, comp, 10, generate)
+    def flow_key(packet: StreamPacket) -> int:
+        # The translation 5-tuple stand-in: the source/destination
+        # address pair (words 2..9 of the IPv6 header).  Same pair ->
+        # same key -> same engine, so per-flow order survives steering.
+        key = 0
+        for word in packet.payload_words[2:10]:
+            key = hash48(key ^ word)
+        return key
+
+    return StreamApp("nat", bundle, comp, 10, generate, flow_key)
 
 
 def stream_app(
@@ -368,6 +457,13 @@ class NetRuntime:
     def __init__(self, app: StreamApp, config: NetConfig, tracer=None):
         if config.engines <= 0 or config.threads <= 0:
             raise ValueError("need at least one engine and one thread")
+        if config.steer not in STEER_MODES:
+            raise ValueError(
+                f"unknown steering policy '{config.steer}' "
+                f"(expected one of {STEER_MODES})"
+            )
+        if config.dispatch_cycles < 0:
+            raise ValueError("dispatch_cycles must be >= 0")
         self.app = app
         self.comp = app.comp
         self.config = config
@@ -381,10 +477,14 @@ class NetRuntime:
                 if space == "sdram" and addr >= bundle.payload_base:
                     continue  # payloads are written per slot on arrival
                 self.memory[space].load_words(addr, words)
+        # Ring layout, downward from the top of scratch: the shared TX
+        # ring, then one private RX ring per engine ("rx0".."rxN-1").
         scratch = self.memory["scratch"]
         tx_base = scratch.size - (2 + config.tx_capacity)
-        rx_base = tx_base - (2 + config.rx_capacity)
-        self.rx = self.memory.add_ring("rx", rx_base, config.rx_capacity)
+        rx_base = tx_base - config.engines * (2 + config.rx_capacity)
+        self.rx = self.memory.add_ring_group(
+            "rx", rx_base, config.rx_capacity, config.engines
+        )
         self.tx = self.memory.add_ring("tx", tx_base, config.tx_capacity)
 
         physical = self.comp.alloc is not None
@@ -410,15 +510,30 @@ class NetRuntime:
             for _ in range(config.engines)
         ]
         self.engine_clock = [0] * config.engines
-        self._consumed = [0] * config.engines
 
         workers = config.engines * config.threads
         self.worker_state = ["idle"] * workers
         self.worker_packet: list[StreamPacket | None] = [None] * workers
 
+        #: packets steered to each engine and not yet pulled by one of
+        #: its workers (queued in the ring OR still in the dispatch
+        #: stage).  Retirement keys on this, not on ring emptiness.
+        self.pending = [0] * config.engines
+        #: dispatch pushes reserved but not yet landed, per engine.
+        self.rx_inflight = [0] * config.engines
+        #: tail drops at dispatch, per target engine.
+        self.rx_drops = [0] * config.engines
+        #: packets steered per engine (including later drops).
+        self.steered = [0] * config.engines
+
         #: enough buffer slots that ring bounds, not slot exhaustion,
         #: limit the number of in-flight packets.
-        self.slot_count = config.rx_capacity + workers + config.tx_capacity + 2
+        self.slot_count = (
+            config.engines * config.rx_capacity
+            + workers
+            + config.tx_capacity
+            + 2
+        )
         self.slot_stride = app.slot_words + (app.slot_words % 2)
         self.free_slots: deque[int] = deque(range(self.slot_count))
         self.slot_packet: dict[int, StreamPacket] = {}
@@ -459,6 +574,17 @@ class NetRuntime:
 
     # -- actors --------------------------------------------------------------
 
+    def _flow_of(self, packet: StreamPacket) -> int:
+        if self.app.flow_key is not None:
+            return self.app.flow_key(packet) & 0xFFFFFFFF
+        return hash48(packet.seq)
+
+    def _steer(self, packet: StreamPacket) -> int:
+        """The dispatch stage's engine choice for ``packet``."""
+        if self.config.steer == "rr":
+            return packet.seq % self.config.engines
+        return hash48(packet.flow) % self.config.engines
+
     def _on_arrival(self, now: int) -> None:
         config = self.config
         count = (
@@ -471,9 +597,20 @@ class NetRuntime:
             packet.arrival = now
             self.generated += 1
             self.packets.append(packet)
-            if self.rx.full or not self.free_slots:
-                packet.status = "dropped"  # tail drop at the receive unit
+            packet.flow = self._flow_of(packet)
+            engine = self._steer(packet)
+            packet.engine = engine
+            self.steered[engine] += 1
+            ring = self.rx[engine]
+            # Reserve ring room at arrival (counting pushes still in
+            # the dispatch stage); tail-drop when the *steered* ring is
+            # full — other engines' rings having room doesn't help a
+            # flow pinned to this one.
+            room = ring.capacity - ring.depth() - self.rx_inflight[engine]
+            if room <= 0 or not self.free_slots:
+                packet.status = "dropped"
                 self.dropped += 1
+                self.rx_drops[engine] += 1
                 self.accounted += 1
                 continue
             slot = self.free_slots.popleft()
@@ -483,13 +620,24 @@ class NetRuntime:
             self.memory["sdram"].load_words(
                 self._slot_base(slot), packet.payload_words
             )
-            packet.rx_ready = self.rx.try_enqueue(now, slot)
             packet.status = "queued"
             self.slot_packet[slot] = packet
+            self.pending[engine] += 1
+            self.rx_inflight[engine] += 1
+            self._push(now + config.dispatch_cycles, _EV_PUSH, slot)
         if self.generated >= config.packets:
             self.source_done = True
         else:
             self._push(now + self._gap(), _EV_ARRIVE)
+
+    def _on_push(self, now: int, slot: int) -> None:
+        """The dispatch stage lands one reserved ring push: the
+        descriptor becomes pollable and the scratch port is charged."""
+        packet = self.slot_packet[slot]
+        finish = self.rx[packet.engine].try_enqueue(now, slot)
+        assert finish is not None, "dispatch reserved ring room at arrival"
+        packet.rx_ready = finish
+        self.rx_inflight[packet.engine] -= 1
 
     def _bind_inputs(self, packet: StreamPacket) -> dict:
         values = dict(self.app.bundle.inputs)
@@ -528,18 +676,23 @@ class NetRuntime:
             self._worker_run(now, worker)
 
     def _worker_pull(self, now: int, worker: int) -> None:
-        popped = self.rx.try_dequeue(now)
+        engine, tid = divmod(worker, self.config.threads)
+        popped = self.rx[engine].try_dequeue(now)
         if popped is None:
-            if self.source_done:
+            # Retire only once no packet can ever reach this engine's
+            # ring: the source is done AND nothing steered here is
+            # still queued or sitting in the dispatch stage.  An empty
+            # ring alone proves nothing — a descriptor reserved at
+            # arrival may land ``dispatch_cycles`` later.
+            if self.source_done and self.pending[engine] == 0:
                 self.worker_state[worker] = "dormant"
             else:
                 self._push(now + self.config.poll, _EV_WORKER, worker)
             return
         slot, finish = popped
+        self.pending[engine] -= 1
         packet = self.slot_packet[slot]
-        engine, tid = divmod(worker, self.config.threads)
         packet.dispatched = finish
-        packet.engine = engine
         packet.thread = tid
         packet.status = "inflight"
         self.machines[engine].dispatch(tid, self._bind_inputs(packet), finish)
@@ -557,11 +710,12 @@ class NetRuntime:
         if not thread.done:
             self._push(thread.ready_at, _EV_WORKER, worker)
             return
-        # Halted: exactly one result was appended during this slice.
-        index = self._consumed[engine]
-        result_tid, values = machine.results[index]
-        assert result_tid == tid and index + 1 == len(machine.results)
-        self._consumed[engine] = index + 1
+        # Halted: collect this thread's own halt values.  Sibling
+        # threads of the same engine halt in interleaved slices, so
+        # the shared ``machine.results`` list is in no useful order —
+        # the per-thread hand-off is the only race-free channel.
+        values = machine.take_result(tid)
+        assert values is not None, "halted thread must have halt values"
         packet = self.worker_packet[worker]
         packet.halted = clock
         packet.results = values
@@ -655,10 +809,23 @@ class NetRuntime:
                     self._on_arrival(time)
                 elif kind == _EV_WORKER:
                     self._on_worker(time, data)
+                elif kind == _EV_PUSH:
+                    self._on_push(time, data)
                 else:
                     self._on_sink(time)
                 if self._finished():
                     break
+            # Packet conservation: every generated packet is completed,
+            # dropped, or still somewhere in the pipeline (queued /
+            # dispatching / on an engine / awaiting the sink) — the
+            # latter only on max_cycles truncation.
+            inflight = sum(
+                1
+                for packet in self.packets
+                if packet.status not in ("done", "mismatch", "dropped")
+            )
+            assert self.generated == self.completed + self.dropped + inflight
+            assert inflight == 0 or self.truncated
             result = StreamResult(
                 app=self.app.name,
                 config=config,
@@ -676,7 +843,11 @@ class NetRuntime:
                     sum(t.stats.instructions for t in m.threads)
                     for m in self.machines
                 ],
+                inflight=inflight,
                 truncated=self.truncated,
+                rx_high_waters=self.rx.high_waters(),
+                rx_drops=list(self.rx_drops),
+                steered=list(self.steered),
                 packets=self.packets,
             )
             if sp:
@@ -701,6 +872,9 @@ class NetRuntime:
                                 t.stats.mem_stall_cycles
                                 for t in machine.threads
                             ),
+                            steered=self.steered[engine],
+                            rx_high_water=self.rx[engine].high_water,
+                            rx_drops=self.rx_drops[engine],
                         )
         return result
 
@@ -710,6 +884,182 @@ def run_stream(app: StreamApp, config: NetConfig, tracer=None) -> StreamResult:
     return NetRuntime(app, config, tracer).run()
 
 
+# --------------------------------------------------------------------------
+# Whole-chip scale-out: shard N chips over the batch process pool
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ShardedResult:
+    """Aggregate view of N independent chips run as one deployment.
+
+    Each chip is a full :class:`NetRuntime` (its own memory system,
+    rings and engines) with a distinct seed; chips run in parallel in a
+    real deployment, so the aggregate throughput is the *sum* of the
+    per-chip Mb/s and the makespan is the *slowest* chip's cycles.
+    """
+
+    app: str
+    chips: int
+    results: list[StreamResult]
+
+    @property
+    def generated(self) -> int:
+        return sum(r.generated for r in self.results)
+
+    @property
+    def completed(self) -> int:
+        return sum(r.completed for r in self.results)
+
+    @property
+    def dropped(self) -> int:
+        return sum(r.dropped for r in self.results)
+
+    @property
+    def inflight(self) -> int:
+        return sum(r.inflight for r in self.results)
+
+    @property
+    def mismatches(self) -> list[dict]:
+        return [m for r in self.results for m in r.mismatches]
+
+    @property
+    def cycles(self) -> int:
+        return max((r.cycles for r in self.results), default=0)
+
+    @property
+    def latencies(self) -> list[int]:
+        return [latency for r in self.results for latency in r.latencies]
+
+    @property
+    def mbps(self) -> float:
+        return sum(r.mbps for r in self.results)
+
+    def percentile(self, p: float) -> int:
+        return nearest_rank(self.latencies, p)
+
+    def summary(self) -> dict:
+        return {
+            "app": self.app,
+            "chips": self.chips,
+            "generated": self.generated,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "inflight": self.inflight,
+            "mismatches": len(self.mismatches),
+            "cycles": self.cycles,
+            "mbps": round(self.mbps, 3),
+            "latency_p50": self.percentile(50),
+            "latency_p95": self.percentile(95),
+        }
+
+
+def _chip_worker(
+    chip: int,
+    app_name: str,
+    config: NetConfig,
+    sizes: tuple[int, ...] | None,
+    virtual: bool,
+    cache_dir: str | None,
+    trace: bool,
+    keep_packets: bool,
+) -> tuple[StreamResult, list]:
+    """Run one chip; module-level so the process pool can pickle it.
+
+    Compiles the app in-worker (through the content-addressed cache
+    when ``cache_dir`` is given — warm it in the parent first and every
+    worker gets a hit) and streams with a per-chip seed, so chips see
+    distinct traffic.
+    """
+    from dataclasses import replace
+
+    from repro.compiler import CompileOptions, compile_nova
+    from repro.trace import Tracer
+
+    from repro.apps import build_aes_app, build_kasumi_app, build_nat_app
+
+    builder = {
+        "aes": build_aes_app,
+        "kasumi": build_kasumi_app,
+        "nat": build_nat_app,
+    }[app_name]
+    source = builder().source
+    options = CompileOptions()
+    options.run_allocator = not virtual
+    options.alloc.solve.time_limit = 900
+    tracer = Tracer() if trace else None
+    if cache_dir:
+        from repro.cache import CompileCache, cached_compile
+
+        cache = CompileCache(cache_dir, tracer)
+        comp, _ = cached_compile(
+            source, f"{app_name}.nova", options, cache, tracer
+        )
+    else:
+        comp = compile_nova(source, f"{app_name}.nova", options, tracer=tracer)
+    chip_config = replace(config, seed=config.seed + chip)
+    result = run_stream(stream_app(app_name, comp, sizes), chip_config, tracer)
+    if not keep_packets:
+        result.packets = []
+    return result, (list(tracer.spans) if tracer else [])
+
+
+def run_sharded(
+    app_name: str,
+    config: NetConfig,
+    chips: int,
+    sizes: tuple[int, ...] | None = None,
+    virtual: bool = True,
+    cache_dir: str | None = None,
+    jobs: int = 1,
+    tracer=None,
+    keep_packets: bool = False,
+) -> ShardedResult:
+    """Simulate ``chips`` independent chips and aggregate their results.
+
+    Fans the chips out over :func:`repro.batch.scatter` (``jobs == 1``
+    stays in-process; more and each chip lands in a pool worker that
+    compiles the app itself).  Chip ``i`` streams with seed ``config.
+    seed + i``, so a multi-chip deployment covers ``chips`` times the
+    flow population of a single run.
+    """
+    if chips <= 0:
+        raise ValueError("need at least one chip")
+    from repro.batch import scatter
+
+    tracer = ensure(tracer)
+    with tracer.span(
+        "net.sharded", app=app_name, chips=chips, jobs=jobs
+    ) as sp:
+        outcomes = scatter(
+            _chip_worker,
+            [
+                (
+                    chip,
+                    app_name,
+                    config,
+                    sizes,
+                    virtual,
+                    cache_dir,
+                    tracer.enabled,
+                    keep_packets,
+                )
+                for chip in range(chips)
+            ],
+            jobs,
+        )
+        results = []
+        for result, spans in outcomes:
+            results.append(result)
+            tracer.adopt(spans, parent="net.sharded")
+        sharded = ShardedResult(app=app_name, chips=chips, results=results)
+        if sp:
+            summary = sharded.summary()
+            summary.pop("app", None)
+            sp.add(**summary)
+    return sharded
+
+
 def stream_trace_lines(result: StreamResult, memory: MemorySystem | None = None) -> list[str]:
     """A deterministic, human-readable run transcript (golden tests)."""
     config = result.config
@@ -717,25 +1067,48 @@ def stream_trace_lines(result: StreamResult, memory: MemorySystem | None = None)
         f"app={result.app} engines={config.engines} threads={config.threads} "
         f"seed={config.seed} arrival={config.arrival} packets={config.packets}",
         f"rx_capacity={config.rx_capacity} tx_capacity={config.tx_capacity} "
-        f"sink_gap={config.sink_gap}",
+        f"sink_gap={config.sink_gap} steer={config.steer} "
+        f"dispatch_cycles={config.dispatch_cycles}",
     ]
     for packet in result.packets:
         if packet.status == "dropped":
             lines.append(
                 f"pkt {packet.seq:03d} bytes={packet.payload_bytes:<4d} "
-                f"arrival={packet.arrival:<8d} dropped"
+                f"arrival={packet.arrival:<8d} flow={packet.flow:08x} "
+                f"engine={packet.engine} dropped"
             )
             continue
         lines.append(
             f"pkt {packet.seq:03d} bytes={packet.payload_bytes:<4d} "
-            f"arrival={packet.arrival:<8d} engine={packet.engine} "
+            f"arrival={packet.arrival:<8d} flow={packet.flow:08x} "
+            f"engine={packet.engine} "
             f"dispatch={packet.dispatched:<8d} halt={packet.halted:<8d} "
             f"drain={packet.drained:<8d} latency={packet.latency:<8d} "
             f"{packet.status}"
         )
+    for engine in range(config.engines):
+        hwm = (
+            result.rx_high_waters[engine]
+            if engine < len(result.rx_high_waters)
+            else 0
+        )
+        drops = result.rx_drops[engine] if engine < len(result.rx_drops) else 0
+        steered = result.steered[engine] if engine < len(result.steered) else 0
+        lines.append(
+            f"rx{engine} steered={steered} hwm={hwm} drops={drops}"
+        )
     lines.append(
         f"generated={result.generated} completed={result.completed} "
-        f"dropped={result.dropped} mismatches={len(result.mismatches)}"
+        f"dropped={result.dropped} inflight={result.inflight} "
+        f"mismatches={len(result.mismatches)}"
+    )
+    conserved = (
+        result.generated
+        == result.completed + result.dropped + result.inflight
+    )
+    lines.append(
+        "conservation generated==completed+dropped+inflight "
+        f"{'holds' if conserved else 'VIOLATED'}"
     )
     lines.append(
         f"cycles={result.cycles} rx_hwm={result.rx_high_water} "
@@ -765,12 +1138,20 @@ def pump_main(argv: list[str]) -> int:
         description="drive a Section 11 app with a synthetic packet stream",
     )
     parser.add_argument("--app", choices=("aes", "kasumi", "nat"), required=True)
-    parser.add_argument("--engines", type=int, default=1)
+    parser.add_argument("--engines", type=int, default=6,
+                        help="micro-engines per chip (default 6, the paper's "
+                             "full chip)")
     parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--steer", choices=STEER_MODES, default="flow",
+                        help="dispatch policy: flow-hash or round-robin")
+    parser.add_argument("--chips", type=int, default=1,
+                        help="independent chips to shard across (default 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-pool workers for --chips > 1")
     parser.add_argument("--packets", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--rx", type=int, default=32, metavar="N",
-                        help="RX ring capacity (default 32)")
+                        help="per-engine RX ring capacity (default 32)")
     parser.add_argument("--tx", type=int, default=32, metavar="N",
                         help="TX ring capacity (default 32)")
     parser.add_argument("--arrival", choices=("poisson", "constant", "backlog"),
@@ -844,8 +1225,53 @@ def pump_main(argv: list[str]) -> int:
         mean_gap=args.gap,
         burst=args.burst,
         sink_gap=args.sink_gap,
+        steer=args.steer,
         decode=not args.interp,
     )
+    mode = "virtual" if args.virtual else "physical"
+
+    if args.chips > 1:
+        # Multi-chip deployment: the compile above warmed the cache (if
+        # any), so pool workers recompile cheaply or hit the cache.
+        try:
+            sharded = run_sharded(
+                args.app,
+                config,
+                chips=args.chips,
+                sizes=sizes,
+                virtual=args.virtual,
+                cache_dir=args.cache_dir,
+                jobs=args.jobs,
+                tracer=tracer,
+            )
+        except (SimulatorError, ValueError) as exc:
+            print(f"novac pump: {exc}", file=sys.stderr)
+            return 1
+        summary = sharded.summary()
+        print(
+            f"pump {args.app} ({mode}, "
+            f"{'interp' if args.interp else 'decoded'}, "
+            f"{args.chips} chips x {config.engines}x{config.threads})"
+        )
+        for key in (
+            "chips", "generated", "completed", "dropped", "inflight",
+            "mismatches", "cycles", "mbps", "latency_p50", "latency_p95",
+        ):
+            print(f"  {key:<14} {summary[key]}")
+        if tracer is not None:
+            if args.trace:
+                print(tracer.table())
+            if args.trace_json:
+                tracer.write_jsonl(args.trace_json)
+        if sharded.mismatches:
+            print(
+                f"novac pump: {len(sharded.mismatches)} packets mismatched "
+                "the reference implementation",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
     try:
         result = run_stream(stream_app(args.app, comp, sizes), config, tracer)
     except (SimulatorError, ValueError) as exc:
@@ -853,12 +1279,11 @@ def pump_main(argv: list[str]) -> int:
         return 1
 
     summary = result.summary()
-    mode = "virtual" if args.virtual else "physical"
     print(f"pump {args.app} ({mode}, {'interp' if args.interp else 'decoded'})")
     for key in (
         "engines", "threads", "generated", "completed", "dropped",
-        "mismatches", "cycles", "mbps", "latency_p50", "latency_p95",
-        "latency_max", "rx_high_water", "tx_high_water",
+        "inflight", "mismatches", "cycles", "mbps", "latency_p50",
+        "latency_p95", "latency_max", "rx_high_water", "tx_high_water",
     ):
         print(f"  {key:<14} {summary[key]}")
     if result.truncated:

@@ -66,6 +66,21 @@ class Span:
         }
 
 
+def log2_bound(value: float) -> int:
+    """Smallest power of two >= ``value`` (1 for values <= 1).
+
+    The single definition of the log2 histogram bucketing used by both
+    :meth:`SpanHandle.bucket` (trace spans) and
+    :meth:`repro.ixp.net.StreamResult.latency_histogram` (run
+    summaries), so values <= 1 and exact powers of two land in the same
+    bucket everywhere.
+    """
+    bound = 1
+    while bound < value:
+        bound <<= 1
+    return bound
+
+
 class SpanHandle:
     """Context manager recording one span; truthy iff actually recording."""
 
@@ -95,10 +110,7 @@ class SpanHandle:
         a compact log2 latency/size histogram without the caller
         keeping one.
         """
-        bound = 1
-        while bound < value:
-            bound <<= 1
-        return self.tally(f"{key}.le_{bound}")
+        return self.tally(f"{key}.le_{log2_bound(value)}")
 
     def __bool__(self) -> bool:
         return True

@@ -44,27 +44,30 @@ def test_stream_completes_and_validates(nat_stream):
                               rx_capacity=32)
     )
     assert result.generated == result.completed == 16
-    assert result.dropped == 0
+    assert result.dropped == 0 and result.inflight == 0
     assert result.mismatches == []
     assert all(p.status == "done" for p in result.packets)
     assert result.cycles > 0 and result.mbps > 0
     assert len(result.latencies) == 16
     assert result.rx_high_water <= 32
+    assert sum(result.steered) == 16  # every packet got a dispatch verdict
 
 
 def test_overload_drops_at_rx_and_accounts_every_packet(nat_stream):
     # 4-packet RX ring, packets arriving far faster than one engine
-    # drains them: the receive unit must tail-drop, and every generated
-    # packet must end up either completed or dropped.
+    # drains them: the dispatch stage must tail-drop, and every
+    # generated packet must end up either completed or dropped.
     config = NetConfig(
         packets=48, seed=5, arrival="constant", mean_gap=4, burst=2,
-        rx_capacity=4, tx_capacity=4, threads=2,
+        rx_capacity=4, tx_capacity=4, engines=1, threads=2,
     )
     result = run_stream(nat_stream, config)
     assert result.dropped > 0
     assert result.completed + result.dropped == result.generated == 48
+    assert result.inflight == 0
     assert result.mismatches == []
     assert result.rx_high_water == 4  # the ring actually filled
+    assert sum(result.rx_drops) == result.dropped  # per-ring accounting
     assert 0 < result.drop_rate < 1
     statuses = {p.status for p in result.packets}
     assert statuses == {"done", "dropped"}
@@ -172,11 +175,18 @@ def test_bad_arrival_process_rejected(nat_stream):
 
 
 def test_truncation_by_cycle_budget(nat_stream):
-    config = NetConfig(packets=64, seed=2, arrival="backlog",
+    config = NetConfig(packets=64, seed=2, arrival="backlog", engines=1,
                        rx_capacity=80, max_cycles=2000)
     result = run_stream(nat_stream, config)
     assert result.truncated
     assert result.completed < result.generated
+    # Conservation survives truncation: what the budget stranded on the
+    # rings/engines is counted, not silently lost.
+    assert result.inflight > 0
+    assert (
+        result.completed + result.dropped + result.inflight
+        == result.generated
+    )
     assert result.cycles <= 2000 + 5000  # last slice may overshoot a bit
 
 

@@ -77,3 +77,15 @@ def test_golden_covers_drops_and_contention():
     assert "memory_digest=" in transcript
     lines = transcript.splitlines()
     assert sum(1 for line in lines if line.startswith("pkt ")) == 24
+    # packet conservation is pinned in the transcript itself
+    assert "conservation generated==completed+dropped+inflight holds" in lines
+    totals = next(line for line in lines if line.startswith("generated="))
+    counts = dict(piece.split("=") for piece in totals.split())
+    assert int(counts["generated"]) == (
+        int(counts["completed"])
+        + int(counts["dropped"])
+        + int(counts["inflight"])
+    )
+    # steering spread the stream over both engines' private rings
+    assert any(line.startswith("rx0 steered=") for line in lines)
+    assert any(line.startswith("rx1 steered=") for line in lines)
