@@ -25,7 +25,11 @@ Checks (all on *simulated* cycles, so they are machine-independent):
   change redefined the numbers;
 - a **live 6x4 whole-chip pump**: a fresh virtual NAT stream on the
   paper's full topology must complete with zero mismatches and packet
-  conservation (``generated == completed + dropped + inflight``).
+  conservation (``generated == completed + dropped + inflight``);
+- a **net-fuzz spot check**: a ten-scenario ``repro.fuzz.netgen``
+  campaign (random program x traffic x topology, all metamorphic
+  invariants) plus the three config-validation regression probes must
+  come back clean.
 """
 
 import json
@@ -77,6 +81,26 @@ def live_chip_smoke(failures: list) -> None:
         )
     if sum(result.steered) != result.generated:
         failures.append("live 6x4 pump: steering lost packets")
+
+
+def live_netfuzz_smoke(failures: list) -> None:
+    """A tiny streaming-scenario fuzz campaign as a CI tripwire."""
+    from repro.fuzz.netgen import run_net_campaign
+
+    result = run_net_campaign(seed=0, count=10, shrink_findings=False)
+    summary = result.summary()
+    print(
+        f"live netfuzz: {summary['ok']}/{summary['scenarios']} scenarios ok, "
+        f"{summary['invalid']} invalid, {summary['probe_failures']} probe "
+        f"failures in {summary['seconds']:.1f}s"
+    )
+    for failure in result.probe_failures:
+        failures.append(f"netfuzz validation probe: {failure}")
+    for unit in result.failed:
+        failures.append(
+            f"netfuzz seed {unit.seed}: "
+            + (unit.invalid or "; ".join(unit.violations))
+        )
 
 
 def main() -> int:
@@ -136,6 +160,7 @@ def main() -> int:
             f"chip (need {MIN_SCALING_APPS})"
         )
     live_chip_smoke(failures)
+    live_netfuzz_smoke(failures)
     for failure in failures:
         print(f"net_smoke: FAIL {failure}", file=sys.stderr)
     if not failures:

@@ -9,6 +9,7 @@ Usage::
     novac --jobs 4 a.nova b.nova    # batch-compile over a process pool
     novac --cache-dir .cache *.nova # content-addressed compile cache
     novac fuzz --seed 0 --count 200 # differential fuzzing campaign
+    novac fuzz --net --count 100    # streaming-scenario fuzzing campaign
     novac pump --app nat --chips 2  # whole-chip packet streaming (6x4)
 
 With more than one source file ``novac`` switches to batch mode: every

@@ -20,10 +20,26 @@ statistically instead of anecdotally:
   prove the oracle and shrinker actually work;
 - :mod:`repro.fuzz.netmeta` — metamorphic checks for the streaming
   runtime's flow-hash steering (flow affinity, per-flow order, packet
-  conservation, engine-count independence).
+  conservation, engine-count independence);
+- :mod:`repro.fuzz.netgen` — whole-scenario fuzzing of the streaming
+  runtime behind ``novac fuzz --net``: random (program, traffic,
+  topology) triples checked against the netmeta invariants plus trace
+  replay fidelity and latency monotonicity, shrunk over both the
+  program and the traffic trace.
 """
 
 from repro.fuzz.gen import GenConfig, GenProgram, generate
+from repro.fuzz.netgen import (
+    NetGenConfig,
+    NetScenario,
+    ScenarioReport,
+    build_scenario_app,
+    check_scenario,
+    gen_scenario,
+    run_net_campaign,
+    shrink_scenario,
+    trace_violations,
+)
 from repro.fuzz.netmeta import check_result, check_steering
 from repro.fuzz.oracle import (
     Divergence,
@@ -33,19 +49,29 @@ from repro.fuzz.oracle import (
     check_program,
     default_configs,
 )
-from repro.fuzz.shrink import shrink
+from repro.fuzz.shrink import shrink, shrink_list
 
 __all__ = [
     "Divergence",
     "FuzzConfig",
     "GenConfig",
     "GenProgram",
+    "NetGenConfig",
+    "NetScenario",
     "OracleReport",
+    "ScenarioReport",
+    "build_scenario_app",
     "check_generated",
     "check_program",
     "check_result",
+    "check_scenario",
     "check_steering",
     "default_configs",
+    "gen_scenario",
     "generate",
+    "run_net_campaign",
     "shrink",
+    "shrink_list",
+    "shrink_scenario",
+    "trace_violations",
 ]

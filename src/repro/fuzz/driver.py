@@ -248,9 +248,20 @@ def run_campaign(
 
 
 def fuzz_main(argv: list | None = None) -> int:
-    """``novac fuzz`` — differential fuzzing subcommand."""
+    """``novac fuzz`` — differential fuzzing subcommand.
+
+    ``--net`` switches to the streaming-scenario fuzzer
+    (:mod:`repro.fuzz.netgen`), which has its own option set.
+    """
     import argparse
     import sys
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if "--net" in argv:
+        from repro.fuzz.netgen import netfuzz_main
+
+        return netfuzz_main([a for a in argv if a != "--net"])
 
     parser = argparse.ArgumentParser(
         prog="novac fuzz",

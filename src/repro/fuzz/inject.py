@@ -44,6 +44,33 @@ def broken_constant_fold(op: str = "xor", delta: int = 1):
 
 
 @contextmanager
+def broken_steering():
+    """Make the dispatch stage ignore the flow key entirely.
+
+    Every packet steers by raw sequence number — the classic bug the
+    flow-hash dispatch stage exists to prevent: a flow's packets spray
+    across engines, so flow affinity (and, with multiple engines,
+    per-flow order) breaks under ``steer="flow"`` whenever a flow
+    spans packets whose sequence numbers differ mod the engine count.
+    Results stay correct — only the *steering* invariants fail, which
+    is exactly what the net oracle must catch and the trace shrinker
+    must minimize.
+    """
+    from repro.ixp.net import NetRuntime
+
+    original = NetRuntime._steer
+
+    def bad_steer(self, packet):
+        return packet.seq % self.config.engines
+
+    NetRuntime._steer = bad_steer
+    try:
+        yield
+    finally:
+        NetRuntime._steer = original
+
+
+@contextmanager
 def disabled_constant_fold():
     """Turn constant folding off entirely (a *benign* injection).
 

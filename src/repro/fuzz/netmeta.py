@@ -54,8 +54,23 @@ def _run(
     return run_stream(app, config)
 
 
-def check_result(result: StreamResult) -> list[str]:
-    """Single-run invariants; returns violation strings (empty = pass)."""
+def check_result(
+    result: StreamResult, expect_no_drops: bool = True
+) -> list[str]:
+    """Single-run invariants; returns violation strings (empty = pass).
+
+    ``expect_no_drops=True`` (the historical behaviour) additionally
+    treats any tail drop as a violation — correct when the caller sized
+    the rings so nothing can drop.  Lossy scenarios (the net fuzzer
+    explores overloaded topologies on purpose) pass ``False``: drops
+    are then legitimate outcomes, still bound by conservation.
+
+    Flow affinity and per-flow order are properties of ``steer="flow"``
+    only — round-robin sprays a flow across engines by design — but
+    per-*engine* FIFO order (packets steered to one engine are pulled
+    off its ring in arrival order) holds in every steer mode and is
+    checked unconditionally.
+    """
     violations: list[str] = []
     if (
         result.generated
@@ -75,24 +90,38 @@ def check_result(result: StreamResult) -> list[str]:
         violations.append(
             f"{len(result.mismatches)} packets mismatched the reference"
         )
-    if result.dropped:
+    if result.dropped and expect_no_drops:
         violations.append(
             f"{result.dropped} drops despite oversize rings "
             f"(per-engine drops: {result.rx_drops})"
         )
-    flow_engine: dict[int, int] = {}
     by_flow: dict[int, list] = {}
+    by_engine: dict[int, list] = {}
+    if result.config.steer == "flow":
+        flow_engine: dict[int, int] = {}
+        for packet in result.packets:
+            if packet.engine < 0:
+                continue
+            first = flow_engine.setdefault(packet.flow, packet.engine)
+            if first != packet.engine:
+                violations.append(
+                    f"flow {packet.flow:#x} split across engines "
+                    f"{first} and {packet.engine}"
+                )
     for packet in result.packets:
-        if packet.engine < 0:
+        if packet.engine < 0 or packet.status not in ("done", "mismatch"):
             continue
-        first = flow_engine.setdefault(packet.flow, packet.engine)
-        if first != packet.engine:
-            violations.append(
-                f"flow {packet.flow:#x} split across engines "
-                f"{first} and {packet.engine}"
-            )
-        if packet.status in ("done", "mismatch"):
+        by_engine.setdefault(packet.engine, []).append(packet)
+        if result.config.steer == "flow":
             by_flow.setdefault(packet.flow, []).append(packet)
+    for engine, packets in by_engine.items():
+        packets.sort(key=lambda p: p.seq)
+        pulls = [p.dispatched for p in packets]
+        if pulls != sorted(pulls):
+            violations.append(
+                f"engine {engine} pulled packets off its RX ring out "
+                f"of arrival order: {pulls}"
+            )
     for flow, packets in by_flow.items():
         packets.sort(key=lambda p: p.seq)
         pulls = [p.dispatched for p in packets]
@@ -117,17 +146,20 @@ def check_steering(
     seed: int = 0,
     engine_counts: tuple[int, ...] = DEFAULT_ENGINE_COUNTS,
     threads: int = 2,
+    steer: str = "flow",
 ) -> list[str]:
     """Metamorphic steering check over several topologies.
 
     Streams identical seeded traffic through each engine count (plus a
     one-thread run for the end-to-end order invariant) and returns
     every violation found; an empty list means all invariants hold.
+    ``steer`` selects the dispatch policy under test — per-packet
+    results must be engine-count independent under either policy.
     """
     violations: list[str] = []
     outcomes: dict[int, list] = {}
     for engines in engine_counts:
-        result = _run(app, engines, threads, packets, seed)
+        result = _run(app, engines, threads, packets, seed, steer)
         violations.extend(f"[{engines}e] {v}" for v in check_result(result))
         outcomes[engines] = sorted(
             (p.seq, tuple(p.results))
@@ -142,6 +174,6 @@ def check_steering(
                 f"per-packet results differ between {baseline_engines} "
                 f"and {engines} engines"
             )
-    single = _run(app, max(engine_counts), 1, packets, seed)
+    single = _run(app, max(engine_counts), 1, packets, seed, steer)
     violations.extend(f"[1t] {v}" for v in check_result(single))
     return violations

@@ -52,6 +52,37 @@ def _join(lines: list[str]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _ddmin(
+    items: list,
+    interesting: Callable[[list], bool],
+    budget: _Budget,
+    stats: ShrinkStats,
+) -> list:
+    """Greedy shrinking-chunk ddmin over any item list.
+
+    Removes progressively smaller chunks while the predicate stays
+    true; never proposes the empty list.  Items are opaque — the same
+    engine minimizes program *lines* and traffic-trace *events*.
+    """
+    chunk = max(1, len(items) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(items):
+            candidate = items[:index] + items[index + chunk :]
+            if not candidate:  # never propose the empty list
+                index += chunk
+                continue
+            if not budget.spend():
+                return items
+            stats.predicate_calls += 1
+            if interesting(candidate):
+                items = candidate  # keep the removal, stay at this index
+            else:
+                index += chunk
+        chunk //= 2
+    return items
+
+
 def _ddmin_lines(
     lines: list[str],
     interesting: Callable[[str], bool],
@@ -59,20 +90,35 @@ def _ddmin_lines(
     stats: ShrinkStats,
 ) -> list[str]:
     """Remove chunks of lines while the predicate stays true."""
-    chunk = max(1, len(lines) // 2)
-    while chunk >= 1:
-        index = 0
-        while index < len(lines):
-            candidate = lines[:index] + lines[index + chunk :]
-            if not candidate or not budget.spend():
-                return lines
-            stats.predicate_calls += 1
-            if interesting(_join(candidate)):
-                lines = candidate  # keep the removal, stay at this index
-            else:
-                index += chunk
-        chunk //= 2
-    return lines
+    return _ddmin(
+        lines, lambda candidate: interesting(_join(candidate)), budget, stats
+    )
+
+
+def shrink_list(
+    items: list,
+    interesting: Callable[[list], bool],
+    max_predicate_calls: int = 200,
+) -> tuple[list, ShrinkStats]:
+    """Minimize an item list while ``interesting(items)`` holds.
+
+    The list-shaped sibling of :func:`shrink`: ddmin over opaque items
+    (the net fuzzer minimizes traffic traces with it).  Re-checks the
+    input first so a flaky predicate cannot "minimize" a healthy list;
+    never returns the empty list.
+    """
+    stats = ShrinkStats(lines_before=len(items))
+    budget = _Budget(max_predicate_calls)
+    if not budget.spend():
+        stats.lines_after = len(items)
+        return items, stats
+    stats.predicate_calls += 1
+    if not items or not interesting(items):
+        stats.lines_after = len(items)
+        return items, stats
+    items = _ddmin(items, interesting, budget, stats)
+    stats.lines_after = len(items)
+    return items, stats
 
 
 def _simplify_line(line: str) -> list[str]:

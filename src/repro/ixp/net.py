@@ -82,6 +82,40 @@ _EV_ARRIVE, _EV_WORKER, _EV_SINK, _EV_PUSH = 0, 1, 2, 3
 #: recognised dispatch-steering policies.
 STEER_MODES = ("flow", "rr")
 
+#: recognised seeded arrival processes (a trace-driven source bypasses
+#: the arrival process entirely — see :class:`TraceEvent`).
+ARRIVAL_MODES = ("poisson", "constant", "backlog")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One packet of a replayable traffic trace.
+
+    A trace is an explicit schedule the source replays instead of
+    drawing from its seeded RNG: ``gap`` cycles after the previous
+    arrival (the first event is relative to cycle 0) a packet with
+    exactly ``payload`` arrives at the dispatch stage.  ``flow`` pins
+    the packet's flow identity — captured traces always record it so
+    deleting events from a trace (ddmin shrinking) never changes how
+    the survivors steer.  ``flow=None`` falls back to the app's
+    ``flow_key`` (or the hash-of-sequence default), which *does* depend
+    on the packet's position in the trace.
+    """
+
+    gap: int
+    flow: int | None
+    payload: tuple[int, ...]
+    #: on-the-wire size; ``None`` means ``4 * len(payload)``.
+    payload_bytes: int | None = None
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            self.payload_bytes
+            if self.payload_bytes is not None
+            else 4 * len(self.payload)
+        )
+
 
 @dataclass
 class NetConfig:
@@ -125,6 +159,10 @@ class NetConfig:
     dispatch_cycles: int = 8
     #: run the pre-decoded execution path (False = interpreter).
     decode: bool = True
+    #: explicit traffic trace: when set the source replays these events
+    #: verbatim (``arrival``/``mean_gap``/``burst``/``packets``/``seed``
+    #: no longer shape the traffic) via the app's ``replay`` constructor.
+    trace: tuple[TraceEvent, ...] | None = None
 
 
 @dataclass
@@ -171,6 +209,10 @@ class StreamApp:
     #: packet -> flow identity for dispatch steering (same key -> same
     #: engine); ``None`` defaults to a hash of the packet sequence.
     flow_key: Callable[[StreamPacket], int] | None = None
+    #: (seq, TraceEvent) -> StreamPacket rebuilt from the event's
+    #: payload (expectations recomputed from the reference
+    #: implementation); required for trace-driven runs.
+    replay: Callable[[int, TraceEvent], StreamPacket] | None = None
 
 
 @dataclass
@@ -286,6 +328,33 @@ def nearest_rank(latencies: list[int], p: float) -> int:
     return ordered[min(n, rank) - 1]
 
 
+def capture_trace(result: StreamResult) -> tuple[TraceEvent, ...]:
+    """The traffic of a finished run as a replayable trace.
+
+    Gaps are reconstructed from per-packet arrival times and every
+    event records its packet's flow identity explicitly, so replaying
+    the trace through :func:`run_stream` (``NetConfig.trace``)
+    reproduces the run's traffic exactly — on the original topology or
+    any other — and shrinking the trace cannot re-steer survivors.
+    Requires the run to have kept its packets (``result.packets``).
+    """
+    if result.generated and not result.packets:
+        raise ValueError("run kept no packets; cannot capture its trace")
+    events = []
+    previous = 0
+    for packet in result.packets:
+        events.append(
+            TraceEvent(
+                gap=packet.arrival - previous,
+                flow=packet.flow,
+                payload=tuple(packet.payload_words),
+                payload_bytes=packet.payload_bytes,
+            )
+        )
+        previous = packet.arrival
+    return tuple(events)
+
+
 def memory_digest(memory: MemorySystem) -> str:
     """Stable short digest of every non-zero word in every space."""
     sha = hashlib.sha256()
@@ -312,6 +381,11 @@ def _rand_bytes(rng: random.Random, count: int) -> bytes:
     return bytes(rng.getrandbits(8) for _ in range(count))
 
 
+def _event_bytes(event: TraceEvent) -> bytes:
+    data = b"".join(word.to_bytes(4, "big") for word in event.payload)
+    return data[: event.size_bytes]
+
+
 def _aes_stream_app(comp, payload_sizes: tuple[int, ...]) -> StreamApp:
     from repro.apps.aes_nova import (
         aes_reference_checksum,
@@ -324,19 +398,26 @@ def _aes_stream_app(comp, payload_sizes: tuple[int, ...]) -> StreamApp:
             raise ValueError(f"AES payloads are 16-byte blocks, got {size}")
     bundle = build_aes_app()
 
-    def generate(rng: random.Random, seq: int) -> StreamPacket:
-        size = payload_sizes[rng.randrange(len(payload_sizes))]
-        payload = _rand_bytes(rng, size)
+    def from_payload(seq: int, payload: bytes) -> StreamPacket:
         return StreamPacket(
             seq=seq,
             payload_words=_to_words(payload),
-            payload_bytes=size,
-            inputs={"nblocks": size // 16, "align": 0},
+            payload_bytes=len(payload),
+            inputs={"nblocks": len(payload) // 16, "align": 0},
             expected_results=(aes_reference_checksum(payload),),
             expected_words=aes_reference_ciphertext(payload),
         )
 
-    return StreamApp("aes", bundle, comp, max(payload_sizes) // 4, generate)
+    def generate(rng: random.Random, seq: int) -> StreamPacket:
+        size = payload_sizes[rng.randrange(len(payload_sizes))]
+        return from_payload(seq, _rand_bytes(rng, size))
+
+    def replay(seq: int, event: TraceEvent) -> StreamPacket:
+        return from_payload(seq, _event_bytes(event))
+
+    return StreamApp(
+        "aes", bundle, comp, max(payload_sizes) // 4, generate, replay=replay
+    )
 
 
 def _kasumi_stream_app(comp, payload_sizes: tuple[int, ...]) -> StreamApp:
@@ -351,19 +432,26 @@ def _kasumi_stream_app(comp, payload_sizes: tuple[int, ...]) -> StreamApp:
             raise ValueError(f"Kasumi payloads are 8-byte blocks, got {size}")
     bundle = build_kasumi_app()
 
-    def generate(rng: random.Random, seq: int) -> StreamPacket:
-        size = payload_sizes[rng.randrange(len(payload_sizes))]
-        payload = _rand_bytes(rng, size)
+    def from_payload(seq: int, payload: bytes) -> StreamPacket:
         return StreamPacket(
             seq=seq,
             payload_words=_to_words(payload),
-            payload_bytes=size,
-            inputs={"nblocks": size // 8},
+            payload_bytes=len(payload),
+            inputs={"nblocks": len(payload) // 8},
             expected_results=(kasumi_reference_sum(payload),),
             expected_words=kasumi_reference_ciphertext(payload),
         )
 
-    return StreamApp("kasumi", bundle, comp, max(payload_sizes) // 4, generate)
+    def generate(rng: random.Random, seq: int) -> StreamPacket:
+        size = payload_sizes[rng.randrange(len(payload_sizes))]
+        return from_payload(seq, _rand_bytes(rng, size))
+
+    def replay(seq: int, event: TraceEvent) -> StreamPacket:
+        return from_payload(seq, _event_bytes(event))
+
+    return StreamApp(
+        "kasumi", bundle, comp, max(payload_sizes) // 4, generate, replay=replay
+    )
 
 
 def _nat_stream_mappings(count: int = 8) -> dict[tuple[int, int, int, int], int]:
@@ -394,17 +482,7 @@ def _nat_stream_app(comp) -> StreamApp:
     table = nat.build_nat_table(mappings)
     addresses = list(mappings)
 
-    def generate(rng: random.Random, seq: int) -> StreamPacket:
-        src = addresses[rng.randrange(len(addresses))]
-        dst = addresses[rng.randrange(len(addresses))]
-        tclass = rng.getrandbits(8)
-        flow = rng.getrandbits(20)
-        payload_length = rng.randrange(0, 1024)
-        next_header = rng.getrandbits(8)
-        hop = rng.randrange(1, 256)
-        w0 = (6 << 28) | (tclass << 20) | flow
-        w1 = (payload_length << 16) | (next_header << 8) | hop
-        words = [w0, w1, *src, *dst]
+    def from_words(seq: int, words: list[int]) -> StreamPacket:
         header = nat.translate_ipv6_to_ipv4(words, table)
         return StreamPacket(
             seq=seq,
@@ -415,6 +493,21 @@ def _nat_stream_app(comp) -> StreamApp:
             expected_words=words[:5] + header,
         )
 
+    def generate(rng: random.Random, seq: int) -> StreamPacket:
+        src = addresses[rng.randrange(len(addresses))]
+        dst = addresses[rng.randrange(len(addresses))]
+        tclass = rng.getrandbits(8)
+        flow = rng.getrandbits(20)
+        payload_length = rng.randrange(0, 1024)
+        next_header = rng.getrandbits(8)
+        hop = rng.randrange(1, 256)
+        w0 = (6 << 28) | (tclass << 20) | flow
+        w1 = (payload_length << 16) | (next_header << 8) | hop
+        return from_words(seq, [w0, w1, *src, *dst])
+
+    def replay(seq: int, event: TraceEvent) -> StreamPacket:
+        return from_words(seq, list(event.payload))
+
     def flow_key(packet: StreamPacket) -> int:
         # The translation 5-tuple stand-in: the source/destination
         # address pair (words 2..9 of the IPv6 header).  Same pair ->
@@ -424,7 +517,7 @@ def _nat_stream_app(comp) -> StreamApp:
             key = hash48(key ^ word)
         return key
 
-    return StreamApp("nat", bundle, comp, 10, generate, flow_key)
+    return StreamApp("nat", bundle, comp, 10, generate, flow_key, replay)
 
 
 def stream_app(
@@ -455,15 +548,7 @@ class NetRuntime:
     """One streaming run: build with an adapter + config, call :meth:`run`."""
 
     def __init__(self, app: StreamApp, config: NetConfig, tracer=None):
-        if config.engines <= 0 or config.threads <= 0:
-            raise ValueError("need at least one engine and one thread")
-        if config.steer not in STEER_MODES:
-            raise ValueError(
-                f"unknown steering policy '{config.steer}' "
-                f"(expected one of {STEER_MODES})"
-            )
-        if config.dispatch_cycles < 0:
-            raise ValueError("dispatch_cycles must be >= 0")
+        self._validate_config(app, config)
         self.app = app
         self.comp = app.comp
         self.config = config
@@ -482,6 +567,7 @@ class NetRuntime:
         scratch = self.memory["scratch"]
         tx_base = scratch.size - (2 + config.tx_capacity)
         rx_base = tx_base - config.engines * (2 + config.rx_capacity)
+        self._check_ring_layout(rx_base, scratch.size)
         self.rx = self.memory.add_ring_group(
             "rx", rx_base, config.rx_capacity, config.engines
         )
@@ -554,6 +640,87 @@ class NetRuntime:
 
         self._heap: list[tuple[int, int, int, int]] = []
         self._seq = 0
+        #: next trace event to replay (trace-driven source only).
+        self._trace_index = 0
+        #: generated programs have no per-packet SDRAM slot parameter.
+        self._has_base = "base" in self.comp.inputs_by_name()
+
+    # -- config validation ---------------------------------------------------
+
+    @staticmethod
+    def _validate_config(app: StreamApp, config: NetConfig) -> None:
+        """Reject bad topologies/sources up front, before any state is
+        built — a typo'd arrival process used to surface only deep in
+        :meth:`_gap` after the first burst fired."""
+        if config.engines <= 0 or config.threads <= 0:
+            raise ValueError("need at least one engine and one thread")
+        if config.steer not in STEER_MODES:
+            raise ValueError(
+                f"unknown steering policy '{config.steer}' "
+                f"(expected one of {STEER_MODES})"
+            )
+        if config.dispatch_cycles < 0:
+            raise ValueError("dispatch_cycles must be >= 0")
+        if config.rx_capacity <= 0 or config.tx_capacity <= 0:
+            raise ValueError(
+                "ring capacities must be positive, got "
+                f"rx_capacity={config.rx_capacity} "
+                f"tx_capacity={config.tx_capacity}"
+            )
+        if config.poll <= 0:
+            raise ValueError(
+                f"poll must be >= 1 (idle workers re-poll), got {config.poll}"
+            )
+        if config.trace is not None:
+            if app.replay is None:
+                raise ValueError(
+                    f"app '{app.name}' has no replay constructor; "
+                    "trace-driven runs need StreamApp.replay"
+                )
+            for index, event in enumerate(config.trace):
+                if event.gap < 0:
+                    raise ValueError(
+                        f"trace event {index} has negative gap {event.gap}"
+                    )
+            return  # the seeded-source knobs below don't shape traffic
+        if config.arrival not in ARRIVAL_MODES:
+            raise ValueError(
+                f"unknown arrival process '{config.arrival}' "
+                f"(expected one of {ARRIVAL_MODES})"
+            )
+        if config.arrival != "backlog" and config.mean_gap <= 0:
+            raise ValueError(
+                f"mean_gap must be > 0, got {config.mean_gap}"
+            )
+        if config.burst <= 0:
+            raise ValueError(f"burst must be >= 1, got {config.burst}")
+
+    def _check_ring_layout(self, rx_base: int, scratch_size: int) -> None:
+        """Reject ring layouts that fall off the bottom of scratch or
+        underflow into the program's own scratch data / spill slots.
+
+        The rings grow downward from the top of scratch, so a large
+        ``engines x rx_capacity`` product used to push ``rx_base``
+        into program data (silent corruption) or negative (an opaque
+        ring-construction error)."""
+        data_top = 0
+        for addr, words in self.app.bundle.memory_image.get("scratch", ()):
+            data_top = max(data_top, addr + len(words))
+        if self.comp.alloc is not None:
+            slots = self.comp.alloc.decoded.spill_slots
+            if slots:
+                data_top = max(data_top, max(slots.values()) + 1)
+        if rx_base < data_top:
+            config = self.config
+            need = scratch_size - rx_base
+            raise ValueError(
+                f"ring layout does not fit scratch: {config.engines} RX "
+                f"rings of {config.rx_capacity} + a TX ring of "
+                f"{config.tx_capacity} need {need} words but only "
+                f"{scratch_size - data_top} are free above the program's "
+                f"data (top {data_top}); shrink the rings or the engine "
+                "count"
+            )
 
     # -- event plumbing -----------------------------------------------------
 
@@ -585,8 +752,70 @@ class NetRuntime:
             return packet.seq % self.config.engines
         return hash48(packet.flow) % self.config.engines
 
+    def _admit(
+        self, packet: StreamPacket, now: int, flow: int | None = None
+    ) -> None:
+        """The dispatch stage sees one arriving packet: steer it,
+        reserve ring room (or tail-drop), DMA the payload into its
+        slot and schedule the descriptor push.  ``flow`` pins the
+        packet's flow identity (trace replay); ``None`` derives it
+        from the app's flow key."""
+        packet.arrival = now
+        self.generated += 1
+        self.packets.append(packet)
+        packet.flow = self._flow_of(packet) if flow is None else flow
+        engine = self._steer(packet)
+        packet.engine = engine
+        self.steered[engine] += 1
+        ring = self.rx[engine]
+        # Reserve ring room at arrival (counting pushes still in
+        # the dispatch stage); tail-drop when the *steered* ring is
+        # full — other engines' rings having room doesn't help a
+        # flow pinned to this one.
+        room = ring.capacity - ring.depth() - self.rx_inflight[engine]
+        if room <= 0 or not self.free_slots:
+            packet.status = "dropped"
+            self.dropped += 1
+            self.rx_drops[engine] += 1
+            self.accounted += 1
+            return
+        slot = self.free_slots.popleft()
+        packet.slot = slot
+        # The receive unit DMAs the payload into the slot's SDRAM
+        # region (back door — its bus is not the engines' port).
+        self.memory["sdram"].load_words(
+            self._slot_base(slot), packet.payload_words
+        )
+        packet.status = "queued"
+        self.slot_packet[slot] = packet
+        self.pending[engine] += 1
+        self.rx_inflight[engine] += 1
+        self._push(now + self.config.dispatch_cycles, _EV_PUSH, slot)
+
     def _on_arrival(self, now: int) -> None:
         config = self.config
+        if config.trace is not None:
+            # Trace-driven source: replay events verbatim.  Consecutive
+            # zero-gap events arrive on the same cycle (one burst).
+            trace = config.trace
+            while self._trace_index < len(trace):
+                event = trace[self._trace_index]
+                packet = self.app.replay(self._trace_index, event)
+                self._trace_index += 1
+                self._admit(packet, now, flow=event.flow)
+                if (
+                    self._trace_index < len(trace)
+                    and trace[self._trace_index].gap == 0
+                ):
+                    continue
+                break
+            if self._trace_index >= len(trace):
+                self.source_done = True
+            else:
+                self._push(
+                    now + trace[self._trace_index].gap, _EV_ARRIVE
+                )
+            return
         count = (
             config.packets
             if config.arrival == "backlog"
@@ -594,37 +823,7 @@ class NetRuntime:
         )
         for _ in range(count):
             packet = self.app.generate(self.rng, self.generated)
-            packet.arrival = now
-            self.generated += 1
-            self.packets.append(packet)
-            packet.flow = self._flow_of(packet)
-            engine = self._steer(packet)
-            packet.engine = engine
-            self.steered[engine] += 1
-            ring = self.rx[engine]
-            # Reserve ring room at arrival (counting pushes still in
-            # the dispatch stage); tail-drop when the *steered* ring is
-            # full — other engines' rings having room doesn't help a
-            # flow pinned to this one.
-            room = ring.capacity - ring.depth() - self.rx_inflight[engine]
-            if room <= 0 or not self.free_slots:
-                packet.status = "dropped"
-                self.dropped += 1
-                self.rx_drops[engine] += 1
-                self.accounted += 1
-                continue
-            slot = self.free_slots.popleft()
-            packet.slot = slot
-            # The receive unit DMAs the payload into the slot's SDRAM
-            # region (back door — its bus is not the engines' port).
-            self.memory["sdram"].load_words(
-                self._slot_base(slot), packet.payload_words
-            )
-            packet.status = "queued"
-            self.slot_packet[slot] = packet
-            self.pending[engine] += 1
-            self.rx_inflight[engine] += 1
-            self._push(now + config.dispatch_cycles, _EV_PUSH, slot)
+            self._admit(packet, now)
         if self.generated >= config.packets:
             self.source_done = True
         else:
@@ -642,7 +841,8 @@ class NetRuntime:
     def _bind_inputs(self, packet: StreamPacket) -> dict:
         values = dict(self.app.bundle.inputs)
         values.update(packet.inputs)
-        values["base"] = self._slot_base(packet.slot)
+        if self._has_base:
+            values["base"] = self._slot_base(packet.slot)
         raw = self.comp.make_inputs(**values)
         if self.comp.alloc is None:
             return raw
@@ -797,7 +997,13 @@ class NetRuntime:
             threads=config.threads,
             seed=config.seed,
         ) as sp:
-            self._push(0, _EV_ARRIVE)
+            if config.trace is not None:
+                if config.trace:
+                    self._push(config.trace[0].gap, _EV_ARRIVE)
+                else:
+                    self.source_done = True
+            else:
+                self._push(0, _EV_ARRIVE)
             for worker in range(len(self.worker_state)):
                 self._push(0, _EV_WORKER, worker)
             while self._heap:
@@ -954,6 +1160,17 @@ class ShardedResult:
         }
 
 
+def chip_seed(base: int, chip: int) -> int:
+    """Decorrelated per-chip stream seed.
+
+    The old ``base + chip`` aliased overlapping deployments — chip 1 of
+    a seed-0 run replayed exactly chip 0 of a seed-1 run.  Mixing both
+    coordinates through :func:`~repro.ixp.machine.hash48` gives every
+    ``(base, chip)`` pair its own stream.
+    """
+    return hash48((base * 0x9E3779B1 + chip) & 0xFFFFFFFF)
+
+
 def _chip_worker(
     chip: int,
     app_name: str,
@@ -997,7 +1214,7 @@ def _chip_worker(
         )
     else:
         comp = compile_nova(source, f"{app_name}.nova", options, tracer=tracer)
-    chip_config = replace(config, seed=config.seed + chip)
+    chip_config = replace(config, seed=chip_seed(config.seed, chip))
     result = run_stream(stream_app(app_name, comp, sizes), chip_config, tracer)
     if not keep_packets:
         result.packets = []
@@ -1019,9 +1236,10 @@ def run_sharded(
 
     Fans the chips out over :func:`repro.batch.scatter` (``jobs == 1``
     stays in-process; more and each chip lands in a pool worker that
-    compiles the app itself).  Chip ``i`` streams with seed ``config.
-    seed + i``, so a multi-chip deployment covers ``chips`` times the
-    flow population of a single run.
+    compiles the app itself).  Chip ``i`` streams with seed
+    :func:`chip_seed(config.seed, i) <chip_seed>`, so a multi-chip
+    deployment covers ``chips`` times the flow population of a single
+    run and overlapping base seeds never replay each other's chips.
     """
     if chips <= 0:
         raise ValueError("need at least one chip")

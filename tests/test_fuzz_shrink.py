@@ -1,6 +1,6 @@
 """The delta-debugging minimizer, on synthetic predicates."""
 
-from repro.fuzz.shrink import ShrinkStats, shrink, write_artifact
+from repro.fuzz.shrink import ShrinkStats, shrink, shrink_list, write_artifact
 
 
 def test_ddmin_keeps_only_needed_lines():
@@ -56,6 +56,61 @@ def test_line_simplification_rewrites_lets():
 
     minimized, _ = shrink(source, interesting)
     assert minimized.strip() == "KEEP"
+
+
+# -- ddmin over opaque item lists (the traffic-trace axis) -----------------
+
+
+def test_shrink_list_keeps_only_needed_items():
+    items = list(range(20))
+
+    def interesting(candidate):
+        return 13 in candidate
+
+    minimized, stats = shrink_list(items, interesting)
+    assert minimized == [13]
+    assert stats.lines_before == 20
+    assert stats.lines_after == 1
+
+
+def test_shrink_list_keeps_interacting_pair():
+    items = [f"ev{i}" for i in range(16)]
+
+    def interesting(candidate):
+        return "ev2" in candidate and "ev11" in candidate
+
+    minimized, _ = shrink_list(items, interesting)
+    assert minimized == ["ev2", "ev11"]
+
+
+def test_shrink_list_non_interesting_input_unchanged():
+    items = [1, 2, 3]
+    minimized, stats = shrink_list(items, lambda candidate: False)
+    assert minimized == items
+    assert stats.lines_after == stats.lines_before == 3
+
+
+def test_shrink_list_never_proposes_empty():
+    calls = []
+
+    def interesting(candidate):
+        calls.append(list(candidate))
+        return True
+
+    minimized, _ = shrink_list([1, 2, 3, 4], interesting)
+    assert len(minimized) == 1
+    assert all(candidate for candidate in calls[1:])
+
+
+def test_shrink_list_budget_bounds_predicate_calls():
+    calls = [0]
+
+    def interesting(candidate):
+        calls[0] += 1
+        return True
+
+    shrink_list(list(range(40)), interesting, max_predicate_calls=20)
+    assert calls[0] <= 20
 
 
 def test_write_artifact_layout(tmp_path):

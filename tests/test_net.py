@@ -18,6 +18,8 @@ from repro.ixp.net import (
     NetConfig,
     NetRuntime,
     StreamResult,
+    TraceEvent,
+    capture_trace,
     run_stream,
     stream_app,
 )
@@ -165,13 +167,133 @@ def test_net_spans_record_latency_histogram(nat_stream):
 
 
 def test_ring_regions_must_fit_in_scratch(nat_stream):
-    with pytest.raises(SimulatorError, match="does not fit"):
+    with pytest.raises(ValueError, match="does not fit scratch"):
         NetRuntime(nat_stream, NetConfig(rx_capacity=2048))
 
 
+def test_ring_layout_boundary_is_exact(nat_stream):
+    # Rings grow down from the top of the 1024-word scratch; with no
+    # program scratch data the boundary is address 0.  The largest
+    # per-engine RX capacity that fits must construct, one more word
+    # per ring must not (it used to underflow into negative bases).
+    top = max(
+        (addr + len(words)
+         for addr, words in nat_stream.bundle.memory_image.get(
+             "scratch", ())),
+        default=0,
+    )
+    free = 1024 - top - (2 + 32)  # minus the TX ring
+    per_engine = free // 6 - 2
+    NetRuntime(nat_stream, NetConfig(rx_capacity=per_engine))  # fits
+    with pytest.raises(ValueError, match="does not fit scratch"):
+        NetRuntime(nat_stream, NetConfig(rx_capacity=per_engine + 1))
+
+
+def test_nonpositive_ring_capacities_rejected(nat_stream):
+    with pytest.raises(ValueError, match="capacities must be positive"):
+        NetRuntime(nat_stream, NetConfig(rx_capacity=0))
+    with pytest.raises(ValueError, match="capacities must be positive"):
+        NetRuntime(nat_stream, NetConfig(tx_capacity=-4))
+
+
 def test_bad_arrival_process_rejected(nat_stream):
+    # Validated in NetRuntime.__init__ now -- the typo used to surface
+    # only deep inside _gap() after the first burst fired.
+    with pytest.raises(ValueError, match="unknown arrival"):
+        NetRuntime(nat_stream, NetConfig(packets=2, arrival="bursty"))
     with pytest.raises(ValueError, match="unknown arrival"):
         run_stream(nat_stream, NetConfig(packets=2, arrival="bursty"))
+
+
+# -- trace-driven replay ---------------------------------------------------
+
+
+def _fingerprints(result):
+    return [
+        (p.seq, p.arrival, p.flow, p.engine, p.status, p.latency,
+         tuple(p.payload_words), tuple(p.results))
+        for p in result.packets
+    ]
+
+
+def test_trace_replay_reproduces_seeded_run_exactly(nat_stream):
+    # Capture a lossy poisson run's traffic and replay it: every packet
+    # must come back with the same arrival, steering verdict, results
+    # and latency — drops and makespan included.
+    config = NetConfig(engines=2, threads=2, packets=24, seed=1234,
+                       rx_capacity=6, tx_capacity=4)
+    seeded = run_stream(nat_stream, config)
+    trace = capture_trace(seeded)
+    assert len(trace) == seeded.generated
+    assert all(event.gap >= 0 for event in trace)
+    replayed = run_stream(
+        nat_stream, dataclasses.replace(config, trace=trace)
+    )
+    assert _fingerprints(replayed) == _fingerprints(seeded)
+    assert replayed.dropped == seeded.dropped
+    assert replayed.cycles == seeded.cycles
+
+
+def test_trace_replays_on_a_different_topology(nat_stream):
+    # The trace is pure traffic: the same events on one engine with
+    # oversize rings must complete every packet the source offered.
+    config = NetConfig(engines=2, threads=2, packets=24, seed=1234,
+                       rx_capacity=6, tx_capacity=4)
+    trace = capture_trace(run_stream(nat_stream, config))
+    wide = dataclasses.replace(
+        config, trace=trace, engines=1,
+        rx_capacity=len(trace) + 4, tx_capacity=len(trace) + 4,
+    )
+    result = run_stream(nat_stream, wide)
+    assert result.completed == result.generated == len(trace)
+    assert result.mismatches == []
+
+
+def test_trace_events_carry_explicit_flows(nat_stream):
+    # Replayed packets keep the recorded flow identity even if events
+    # are deleted around them — the point of storing flows explicitly.
+    config = NetConfig(engines=3, threads=1, packets=12, seed=5,
+                       arrival="backlog", rx_capacity=16)
+    seeded = run_stream(nat_stream, config)
+    trace = capture_trace(seeded)
+    thinned = trace[::2]
+    result = run_stream(
+        nat_stream,
+        dataclasses.replace(
+            config, trace=thinned, rx_capacity=len(trace) + 4
+        ),
+    )
+    survivors = [p for p in seeded.packets][::2]
+    assert [p.flow for p in result.packets] == [p.flow for p in survivors]
+    assert [p.engine for p in result.packets] == [
+        p.engine for p in survivors
+    ]
+
+
+def test_trace_validation_errors(nat_stream):
+    good = TraceEvent(gap=0, flow=1, payload=(1, 2, 3))
+    with pytest.raises(ValueError, match="negative gap"):
+        NetRuntime(
+            nat_stream,
+            NetConfig(trace=(dataclasses.replace(good, gap=-1),)),
+        )
+    no_replay = dataclasses.replace(nat_stream, replay=None)
+    with pytest.raises(ValueError, match="no replay constructor"):
+        NetRuntime(no_replay, NetConfig(trace=(good,)))
+
+
+def test_empty_trace_runs_clean(nat_stream):
+    result = run_stream(nat_stream, NetConfig(trace=()))
+    assert result.generated == result.completed == 0
+
+
+def test_capture_trace_requires_kept_packets(nat_stream):
+    result = run_stream(
+        nat_stream, NetConfig(packets=4, arrival="backlog", rx_capacity=8)
+    )
+    result.packets = []
+    with pytest.raises(ValueError, match="kept no packets"):
+        capture_trace(result)
 
 
 def test_truncation_by_cycle_budget(nat_stream):

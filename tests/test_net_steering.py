@@ -15,13 +15,14 @@ import dataclasses
 
 import pytest
 
-from repro.fuzz.netmeta import check_steering
+from repro.fuzz.netmeta import check_result, check_steering
 from repro.ixp.machine import hash48
 from repro.ixp.memory import MemorySystem
 from repro.errors import SimulatorError
 from repro.ixp.net import (
     NetConfig,
     NetRuntime,
+    chip_seed,
     run_sharded,
     run_stream,
     stream_app,
@@ -105,6 +106,49 @@ def test_round_robin_steering(nat_stream):
     for packet in result.packets:
         assert packet.engine == packet.seq % 4
     assert result.steered == [4, 4, 4, 4]
+
+
+def test_check_steering_round_robin(nat_stream):
+    # Affinity is a steer="flow" property; under "rr" the oracle must
+    # still enforce conservation, per-engine FIFO pull order and
+    # engine-count independence — and report nothing for legal sprays.
+    assert check_steering(nat_stream, packets=24, seed=3, steer="rr") == []
+
+
+def test_check_result_allows_flow_spray_under_rr(nat_stream):
+    # NAT has fewer flows than packets, so round-robin necessarily
+    # splits flows across engines: legal under "rr", a violation that
+    # check_result must not raise (it is gated on the steer mode).
+    config = NetConfig(engines=4, threads=2, packets=16, seed=2,
+                       arrival="backlog", rx_capacity=20, tx_capacity=20,
+                       steer="rr")
+    result = run_stream(nat_stream, config)
+    engines_by_flow: dict[int, set] = {}
+    for packet in result.packets:
+        engines_by_flow.setdefault(packet.flow, set()).add(packet.engine)
+    assert any(len(engines) > 1 for engines in engines_by_flow.values())
+    assert check_result(result) == []
+
+
+def test_check_result_flags_mismatched_packets(nat_stream):
+    # Errored packets (status "mismatch") must surface as a violation
+    # and still participate in the per-engine order check.
+    def corrupt(rng, seq):
+        packet = nat_stream.generate(rng, seq)
+        packet.expected_results = tuple(
+            (value ^ 1) & 0xFFFFFFFF for value in packet.expected_results
+        )
+        return packet
+
+    bad_app = dataclasses.replace(nat_stream, generate=corrupt)
+    config = NetConfig(engines=2, threads=2, packets=8, seed=3,
+                       arrival="backlog", rx_capacity=12, tx_capacity=12)
+    result = run_stream(bad_app, config)
+    assert result.mismatches
+    violations = check_result(result)
+    assert any("mismatched the reference" in v for v in violations)
+    # the corrupted expectations break validation, not scheduling
+    assert not any("out of arrival order" in v for v in violations)
 
 
 def test_unknown_steer_mode_rejected(nat_stream):
@@ -220,3 +264,28 @@ def test_run_sharded_aggregates_chips():
 def test_run_sharded_rejects_zero_chips():
     with pytest.raises(ValueError, match="at least one chip"):
         run_sharded("nat", NetConfig(), chips=0)
+
+
+def test_chip_seeds_do_not_alias_across_deployments():
+    # The old scheme seeded chip i with ``config.seed + i``, so chip 1
+    # of a seed-0 deployment replayed chip 0 of a seed-1 deployment
+    # packet for packet.  chip_seed mixes (seed, chip) through hash48.
+    assert chip_seed(0, 1) != chip_seed(1, 0)
+    assert chip_seed(0, 0) != chip_seed(0, 1)
+    pairs = {chip_seed(seed, chip) for seed in range(8) for chip in range(6)}
+    assert len(pairs) == 48  # no collisions across a whole sweep
+    assert chip_seed(3, 2) == hash48((3 * 0x9E3779B1 + 2) & 0xFFFFFFFF)
+
+
+def test_sharded_chips_see_distinct_traffic_across_base_seeds():
+    config = NetConfig(engines=2, threads=2, packets=10, seed=0,
+                       arrival="backlog", rx_capacity=16)
+    deploy0 = run_sharded("nat", config, chips=2, virtual=True, jobs=1)
+    deploy1 = run_sharded(
+        "nat", dataclasses.replace(config, seed=1), chips=2, virtual=True,
+        jobs=1,
+    )
+    # the aliasing bug made these two latency series identical
+    assert (
+        deploy0.results[1].latencies != deploy1.results[0].latencies
+    )
