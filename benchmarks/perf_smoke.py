@@ -8,11 +8,11 @@ Run after ``pytest benchmarks/test_sim_speed.py`` has refreshed the
 Two checks, both deliberately loose so machine-speed differences between
 the recording host and CI runners never flake:
 
-- the decoded path must stay within 5x of the recorded baseline
-  instructions/sec (a >5x drop means the decode stage regressed
-  pathologically, e.g. silently fell back to the interpreter);
-- the decoded/interpreter speedup must stay >= 2x (a *ratio*, so it is
-  machine-independent).
+- the decoded and compiled paths must stay within 5x of the recorded
+  baseline instructions/sec (a >5x drop means a tier regressed
+  pathologically, e.g. silently fell back to a slower tier);
+- the decoded/interpreter speedup must stay >= 2x and the
+  compiled/decoded speedup >= 2x (*ratios*, so machine-independent).
 """
 
 import json
@@ -23,6 +23,7 @@ BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 MAX_REGRESSION = 5.0
 MIN_SPEEDUP = 2.0
+MIN_COMPILED_SPEEDUP = 2.0
 
 
 def main() -> int:
@@ -38,23 +39,42 @@ def main() -> int:
         return 2
 
     failures = []
-    header = f"{'bench':<12} {'ips decoded':>12} {'baseline':>12} {'speedup':>8}"
+    header = (
+        f"{'bench':<12} {'ips decoded':>12} {'ips compiled':>13} "
+        f"{'dec/int':>8} {'com/dec':>8}"
+    )
     print(header)
     print("-" * len(header))
     for key, row in sorted(results.items()):
         ips = row["ips_decoded"]
+        ips_com = row.get("ips_compiled", 0)
         base = baseline.get(key, {}).get("ips_decoded", ips)
+        base_com = baseline.get(key, {}).get("ips_compiled", ips_com)
         speedup = row["speedup"]
-        print(f"{key:<12} {ips:>12,} {base:>12,} {speedup:>7.1f}x")
+        speedup_com = row.get("speedup_compiled", 0.0)
+        print(
+            f"{key:<12} {ips:>12,} {ips_com:>13,} "
+            f"{speedup:>7.1f}x {speedup_com:>7.1f}x"
+        )
         if ips * MAX_REGRESSION < base:
             failures.append(
                 f"{key}: decoded ips {ips:,} is >{MAX_REGRESSION:.0f}x below "
                 f"baseline {base:,}"
             )
+        if ips_com * MAX_REGRESSION < base_com:
+            failures.append(
+                f"{key}: compiled ips {ips_com:,} is >{MAX_REGRESSION:.0f}x "
+                f"below baseline {base_com:,}"
+            )
         if speedup < MIN_SPEEDUP:
             failures.append(
                 f"{key}: decoded/interpreter speedup {speedup:.1f}x "
                 f"< {MIN_SPEEDUP:.0f}x"
+            )
+        if speedup_com < MIN_COMPILED_SPEEDUP:
+            failures.append(
+                f"{key}: compiled/decoded speedup {speedup_com:.1f}x "
+                f"< {MIN_COMPILED_SPEEDUP:.0f}x"
             )
     for failure in failures:
         print(f"perf_smoke: FAIL {failure}", file=sys.stderr)

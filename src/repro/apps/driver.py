@@ -45,6 +45,7 @@ def run_physical_threads(
     thread_stride: int = 0x400,
     input_overrides: dict | None = None,
     decode: bool = True,
+    sim_mode: str | None = None,
 ) -> ThroughputResult:
     """Run the allocated application over a synthetic packet stream.
 
@@ -54,7 +55,9 @@ def run_physical_threads(
     source-level inputs (e.g. ``nblocks``) without mutating ``app``.
     ``decode=False`` forces the reference interpreter instead of the
     pre-decoded execution path (used by the benchmark suite to measure
-    the decode speedup).
+    the decode speedup); ``sim_mode`` names any of the three speed
+    tiers explicitly (``"interp"``/``"decoded"``/``"compiled"``) and
+    wins over ``decode`` when given.
     """
     assert comp.alloc is not None, "needs an allocated compilation"
     memory = MemorySystem.create()
@@ -101,6 +104,7 @@ def run_physical_threads(
         input_provider=provider,
         max_cycles=200_000_000,
         decode=decode,
+        mode=sim_mode,
     )
     run = machine.run()
     packets = threads * packets_per_thread

@@ -44,6 +44,34 @@ def broken_constant_fold(op: str = "xor", delta: int = 1):
 
 
 @contextmanager
+def broken_codegen(op: str = "xor", delta: int = 1):
+    """Make the compiled simulator tier mis-evaluate one ALU op.
+
+    The codegen template for ``op`` comes out ``delta`` too large, so
+    any program executing that op on runtime values diverges between
+    the ``sim-compiled`` configuration and the reference (which runs
+    the decoded tier).  Constant folding is untouched (it goes through
+    ``machine._ALU_FNS``), so the bug only manifests in *generated*
+    code — exactly a miscompiled simulator, not a miscompiled program.
+
+    The compiled-graph cache is cleared on entry and exit: cached
+    functions were generated from the unpatched template (and vice
+    versa on the way out), and the cache is keyed by graph identity,
+    not template contents.
+    """
+    from repro.ixp import codegen
+
+    original = codegen._ALU_EXPRS[op]
+    codegen._ALU_EXPRS[op] = f"((({original}) + {delta}) & 4294967295)"
+    codegen.clear_cache()
+    try:
+        yield
+    finally:
+        codegen._ALU_EXPRS[op] = original
+        codegen.clear_cache()
+
+
+@contextmanager
 def broken_steering():
     """Make the dispatch stage ignore the flow key entirely.
 

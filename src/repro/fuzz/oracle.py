@@ -80,6 +80,10 @@ class FuzzConfig:
     options: CompileOptions
     #: run the allocated (physical-register) flowgraph
     physical: bool = False
+    #: simulator speed tier the vectors execute under; the compiled
+    #: tier rides the same matrix so nightly campaigns cross-check the
+    #: codegen stage against the decoded oracle automatically.
+    sim_mode: str = "decoded"
 
 
 def _virtual_options(**overrides) -> CompileOptions:
@@ -106,6 +110,9 @@ def default_configs(names: list[str] | None = None) -> list[FuzzConfig]:
         FuzzConfig("ref", _virtual_options()),
         FuzzConfig("no-opt", _virtual_options(optimizer_rounds=0)),
         FuzzConfig("ssu-off", _virtual_options(run_ssu=False)),
+        # Same compile as ref, executed on the codegen tier: any
+        # difference is a miscompiled *simulator*, not program.
+        FuzzConfig("sim-compiled", _virtual_options(), sim_mode="compiled"),
         FuzzConfig("alloc-highs", highs, physical=True),
         FuzzConfig("alloc-bnb", bnb, physical=True),
         FuzzConfig("alloc-baseline", baseline, physical=True),
@@ -299,6 +306,7 @@ def _run_vector(
         physical=config.physical,
         input_provider=lambda tid, it: dict(inputs) if it == 0 else None,
         max_cycles=max_cycles,
+        mode=config.sim_mode,
     )
     try:
         run = machine.run()

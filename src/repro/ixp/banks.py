@@ -37,6 +37,13 @@ class Bank(enum.Enum):
     def __str__(self) -> str:
         return self.value
 
+    # Enum's default __hash__ is a Python-level function; register-file
+    # dict keys are ``(Bank, index)`` tuples hashed on every simulated
+    # register access, which makes it one of the hottest calls in a
+    # physical-mode run.  Members are singletons and enum equality is
+    # identity, so the C-level identity hash is semantically identical.
+    __hash__ = object.__hash__
+
 
 #: Transfer banks (paper: XBank).
 XFER_BANKS = (Bank.L, Bank.LD, Bank.S, Bank.SD)

@@ -78,6 +78,11 @@ CLOCK_MHZ = 233  # IXP1200 in the paper (Section 11)
 #: dequeue (same cadence as the lock-bit spin).
 RING_RETRY = 4
 
+#: The three simulator speed tiers, slowest to fastest.  All three are
+#: observationally identical (cycles, stalls, memory images, errors);
+#: ``tests/test_decode_parity.py`` pins the equivalence.
+SIM_MODES = ("interp", "decoded", "compiled")
+
 
 def _alu_eval(op: str, a: int, b: int | None) -> int:
     if op == "add":
@@ -252,8 +257,10 @@ def _check_aggregate(instr: isa.MemOp) -> None:
         raise SimulatorError(f"{instr}: address must come from A or B")
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadStats:
+    # slots: the counters are bumped once per simulated instruction /
+    # memory stall on every tier's hot loop.
     instructions: int = 0
     iterations: int = 0
     mem_stall_cycles: int = 0
@@ -1030,6 +1037,24 @@ def decoded_graph(graph: FlowGraph, physical: bool, tracer=None) -> _DecodedGrap
 
 
 class _Thread:
+    # Slotted: ``thread.<attr>`` reads/writes bracket every execution
+    # slice on all three tiers (prologue, exits, the run loop).
+    __slots__ = (
+        "tid",
+        "machine",
+        "regs",
+        "rv",
+        "step",
+        "cpc",
+        "block",
+        "index",
+        "ready_at",
+        "done",
+        "stats",
+        "iteration",
+        "halt_values",
+    )
+
     def __init__(self, tid: int, machine: "Machine"):
         self.tid = tid
         self.machine = machine
@@ -1037,6 +1062,7 @@ class _Thread:
         self.rv = self.regs.values  # the decoded path's register dict
         decoded = machine.decoded
         self.step = decoded.entry if decoded is not None else None
+        self.cpc = 0  # compiled tier: resume label (entry block head)
         self.block = machine.graph.entry
         self.index = 0
         self.ready_at = 0
@@ -1057,6 +1083,7 @@ class _Thread:
         for name, value in inputs.items():
             values[name] = value & WORD_MASK
         self.rv = values
+        self.cpc = 0
         self.block = machine.graph.entry
         self.index = 0
         decoded = machine.decoded
@@ -1085,6 +1112,7 @@ class Machine:
         max_cycles: int = 50_000_000,
         tracer=None,
         decode: bool = True,
+        mode: str | None = None,
     ):
         graph.validate()
         self.graph = graph
@@ -1098,9 +1126,34 @@ class Machine:
         if physical is None:
             physical = _guess_physical(graph)
         self.physical = physical
+        # ``mode`` names the speed tier explicitly; the older ``decode``
+        # flag keeps working as the interp/decoded switch.
+        if mode is None:
+            mode = "decoded" if decode else "interp"
+        if mode not in SIM_MODES:
+            raise ValueError(
+                f"unknown simulator mode '{mode}' (expected one of "
+                f"{', '.join(SIM_MODES)})"
+            )
+        self.mode = mode
+        # The compiled tier keeps the decoded graph too: it is the
+        # fallback when codegen declines an op, and threads resume
+        # through either representation identically.
         self.decoded = (
-            decoded_graph(graph, physical, self.tracer) if decode else None
+            decoded_graph(graph, physical, self.tracer)
+            if mode != "interp"
+            else None
         )
+        self.compiled = None
+        if mode == "compiled":
+            from repro.ixp.codegen import compiled_graph
+
+            self.compiled = compiled_graph(
+                graph,
+                physical,
+                instrumented=self.tracer.enabled,
+                tracer=self.tracer,
+            )
         self.input_provider = input_provider or (
             lambda tid, it: {} if it == 0 else None
         )
@@ -1110,6 +1163,19 @@ class Machine:
         self.csrs: dict[int, int] = {}
         #: lock bit → holding thread id (inter-thread mutual exclusion)
         self.locks: dict[int, int] = {}
+        # Resolve the per-slice entry point once; service() and run()
+        # share it.  The compiled tier binds this machine's state
+        # (max_cycles, memory, locks, csrs, results, histogram) into
+        # closure cells here, so slices pay no per-call attribute loads.
+        # ``_loop`` is the compiled tier's whole-run scheduler (run()'s
+        # loop with the dispatch inlined); other tiers use run()'s own.
+        self._loop = None
+        if self.compiled is not None:
+            self._slice, self._loop = self.compiled.bind(self)
+        elif self.decoded is not None:
+            self._slice = self._run_thread_decoded
+        else:
+            self._slice = self._run_thread
 
     # -- execution ------------------------------------------------------------
     #
@@ -1127,12 +1193,7 @@ class Machine:
         """Run thread ``tid`` from cycle ``now`` until it blocks, yields
         or halts; returns the engine clock after the slice (the thread's
         wake-up time is in ``threads[tid].ready_at``)."""
-        run_thread = (
-            self._run_thread_decoded
-            if self.decoded is not None
-            else self._run_thread
-        )
-        return run_thread(self.threads[tid], now)
+        return self._slice(self.threads[tid], now)
 
     def dispatch(self, tid: int, inputs: dict, at: int = 0) -> None:
         """Hand thread ``tid`` one unit of work: reset it to the graph
@@ -1163,23 +1224,35 @@ class Machine:
     def run(self) -> RunResult:
         with self.tracer.span("simulate") as sp:
             clock = 0
-            ready: list[tuple[int, int, int]] = []  # (ready_at, tid, seq)
-            seq = 0
+            # (ready_at, tid, thread) — a thread has at most one entry,
+            # so tid alone breaks ready_at ties (deterministically,
+            # lowest tid first, exactly as the former (ready_at, tid,
+            # seq) tuples ordered: seq never decided a comparison; the
+            # thread rides along so the loop skips the list index).
+            threads = self.threads
+            ready: list[tuple[int, int, _Thread]] = []
             for ready_at, tid in self.start():
-                heapq.heappush(ready, (ready_at, tid, seq))
-                seq += 1
-            while ready:
-                ready_at, tid, _ = heapq.heappop(ready)
-                clock = max(clock, ready_at)
-                thread = self.threads[tid]
-                clock = self.service(tid, clock)
-                if clock > self.max_cycles:
-                    raise SimulatorError(
-                        f"simulation exceeded {self.max_cycles} cycles"
-                    )
-                if not thread.done:
-                    heapq.heappush(ready, (thread.ready_at, tid, seq))
-                    seq += 1
+                heapq.heappush(ready, (ready_at, tid, threads[tid]))
+            if self._loop is not None:
+                # Compiled tier: the generated module carries this same
+                # scheduler loop with the dispatch tree inlined.
+                clock = self._loop(ready, clock)
+            else:
+                slice_fn = self._slice
+                max_cycles = self.max_cycles
+                heappop = heapq.heappop
+                heappush = heapq.heappush
+                while ready:
+                    ready_at, tid, thread = heappop(ready)
+                    if ready_at > clock:
+                        clock = ready_at
+                    clock = slice_fn(thread, clock)
+                    if clock > max_cycles:
+                        raise SimulatorError(
+                            f"simulation exceeded {max_cycles} cycles"
+                        )
+                    if not thread.done:
+                        heappush(ready, (thread.ready_at, tid, thread))
             result = RunResult(
                 clock, [t.stats for t in self.threads], self.results
             )
@@ -1487,6 +1560,7 @@ def run_virtual(
     iterations: int = 1,
     threads: int = 1,
     decode: bool = True,
+    mode: str | None = None,
 ) -> RunResult:
     """Convenience: run a virtual-register flowgraph a fixed number of
     iterations per thread with constant inputs."""
@@ -1503,5 +1577,6 @@ def run_virtual(
         physical=False,
         input_provider=provider,
         decode=decode,
+        mode=mode,
     )
     return machine.run()

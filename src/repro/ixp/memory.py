@@ -42,9 +42,14 @@ DEFAULT_SIZES = {
 WORD_MASK = 0xFFFFFFFF
 
 
-@dataclass
+@dataclass(slots=True)
 class MemorySpace:
-    """One word-addressed memory with a single service port."""
+    """One word-addressed memory with a single service port.
+
+    Slotted: ``busy_until``/``reads``/``words`` and the cached timing
+    constants are touched once per simulated memory reference on every
+    tier's hot path.
+    """
 
     name: str
     size: int
@@ -54,6 +59,22 @@ class MemorySpace:
     #: Counters for reporting.
     reads: int = 0
     writes: int = 0
+    #: timing constants resolved once in ``__post_init__``.
+    _latency: int | None = field(init=False, repr=False, compare=False, default=None)
+    _per_word: int = field(init=False, repr=False, compare=False, default=1)
+    _occupancy: int | None = field(init=False, repr=False, compare=False, default=None)
+    _is_sdram: bool = field(init=False, repr=False, compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        # read()/issue() run once per simulated memory reference — the
+        # hottest calls shared by every simulator tier — so the per-space
+        # timing constants are resolved once here instead of through
+        # name-keyed dict lookups per access.  Unknown space names keep
+        # working (custom test spaces): they just take the slow path.
+        self._latency = LATENCY.get(self.name)
+        self._per_word = PER_WORD.get(self.name, 1)
+        self._occupancy = OCCUPANCY.get(self.name)
+        self._is_sdram = self.name == "sdram"
 
     def _check(self, addr: int, count: int) -> None:
         if addr < 0 or addr + count > self.size:
@@ -69,18 +90,34 @@ class MemorySpace:
                 )
 
     def read(self, addr: int, count: int) -> list[int]:
-        self._check(addr, count)
+        if (
+            addr < 0
+            or addr + count > self.size
+            or (self._is_sdram and (addr % 2 or count % 2))
+        ):
+            self._check(addr, count)  # raises the precise error
         self.reads += 1
-        return [self.words.get(addr + i, 0) for i in range(count)]
+        words_get = self.words.get
+        return [words_get(addr + i, 0) for i in range(count)]
 
     def write(self, addr: int, values: list[int]) -> None:
-        self._check(addr, len(values))
+        count = len(values)
+        if (
+            addr < 0
+            or addr + count > self.size
+            or (self._is_sdram and (addr % 2 or count % 2))
+        ):
+            self._check(addr, count)
         self.writes += 1
+        words = self.words
         for i, value in enumerate(values):
-            self.words[addr + i] = value & WORD_MASK
+            words[addr + i] = value & WORD_MASK
 
     def transfer_time(self, count: int) -> int:
-        return LATENCY[self.name] + PER_WORD[self.name] * max(0, count - 1)
+        latency = self._latency
+        if latency is None:
+            latency = LATENCY[self.name]
+        return latency + self._per_word * max(0, count - 1)
 
     def issue(self, now: int, count: int) -> int:
         """Queue one transfer; returns its completion time.
@@ -91,12 +128,16 @@ class MemorySpace:
         from different threads overlap — contention shows up as queueing
         on the acceptance rate, not as serialized latencies.
         """
-        start = max(now, self.busy_until)
-        occupancy = OCCUPANCY[self.name] + PER_WORD[self.name] * max(
-            0, count - 1
-        )
-        self.busy_until = start + occupancy
-        return start + self.transfer_time(count)
+        busy = self.busy_until
+        start = now if now >= busy else busy
+        occupancy = self._occupancy
+        latency = self._latency
+        if occupancy is None or latency is None:
+            occupancy = OCCUPANCY[self.name]
+            latency = LATENCY[self.name]
+        extra = self._per_word * (count - 1) if count > 1 else 0
+        self.busy_until = start + occupancy + extra
+        return start + latency + extra
 
     def load_words(self, addr: int, values: list[int]) -> None:
         """Back-door initialization (no cycle cost, no alignment checks)."""

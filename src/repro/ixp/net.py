@@ -72,7 +72,7 @@ from fractions import Fraction
 from typing import Callable
 
 from repro.errors import SimulatorError
-from repro.ixp.machine import CLOCK_MHZ, Machine, hash48
+from repro.ixp.machine import CLOCK_MHZ, SIM_MODES, Machine, hash48
 from repro.ixp.memory import MemorySystem
 from repro.trace import ensure, log2_bound
 
@@ -159,6 +159,9 @@ class NetConfig:
     dispatch_cycles: int = 8
     #: run the pre-decoded execution path (False = interpreter).
     decode: bool = True
+    #: simulator speed tier for the engines ("interp", "decoded" or
+    #: "compiled"); ``None`` keeps the older ``decode`` switch.
+    sim_mode: str | None = None
     #: explicit traffic trace: when set the source replays these events
     #: verbatim (``arrival``/``mean_gap``/``burst``/``packets``/``seed``
     #: no longer shape the traffic) via the app's ``replay`` constructor.
@@ -592,6 +595,7 @@ class NetRuntime:
                 input_provider=lambda tid, it: None,  # runtime dispatches
                 max_cycles=machine_budget,
                 decode=config.decode,
+                mode=config.sim_mode,
             )
             for _ in range(config.engines)
         ]
@@ -654,6 +658,11 @@ class NetRuntime:
         :meth:`_gap` after the first burst fired."""
         if config.engines <= 0 or config.threads <= 0:
             raise ValueError("need at least one engine and one thread")
+        if config.sim_mode is not None and config.sim_mode not in SIM_MODES:
+            raise ValueError(
+                f"unknown simulator mode '{config.sim_mode}' "
+                f"(expected one of {', '.join(SIM_MODES)})"
+            )
         if config.steer not in STEER_MODES:
             raise ValueError(
                 f"unknown steering policy '{config.steer}' "
@@ -1388,6 +1397,10 @@ def pump_main(argv: list[str]) -> int:
     parser.add_argument("--interp", action="store_true",
                         help="use the reference interpreter instead of the "
                              "pre-decoded execution path")
+    parser.add_argument("--sim-mode", choices=SIM_MODES, default=None,
+                        help="simulator speed tier for the engines "
+                             "(overrides --interp; 'compiled' runs the "
+                             "codegen tier)")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="content-addressed compile cache directory")
     parser.add_argument("--trace", action="store_true",
@@ -1445,8 +1458,10 @@ def pump_main(argv: list[str]) -> int:
         sink_gap=args.sink_gap,
         steer=args.steer,
         decode=not args.interp,
+        sim_mode=args.sim_mode,
     )
     mode = "virtual" if args.virtual else "physical"
+    tier = args.sim_mode or ("interp" if args.interp else "decoded")
 
     if args.chips > 1:
         # Multi-chip deployment: the compile above warmed the cache (if
@@ -1467,8 +1482,7 @@ def pump_main(argv: list[str]) -> int:
             return 1
         summary = sharded.summary()
         print(
-            f"pump {args.app} ({mode}, "
-            f"{'interp' if args.interp else 'decoded'}, "
+            f"pump {args.app} ({mode}, {tier}, "
             f"{args.chips} chips x {config.engines}x{config.threads})"
         )
         for key in (
@@ -1497,7 +1511,7 @@ def pump_main(argv: list[str]) -> int:
         return 1
 
     summary = result.summary()
-    print(f"pump {args.app} ({mode}, {'interp' if args.interp else 'decoded'})")
+    print(f"pump {args.app} ({mode}, {tier})")
     for key in (
         "engines", "threads", "generated", "completed", "dropped",
         "inflight", "mismatches", "cycles", "mbps", "latency_p50",

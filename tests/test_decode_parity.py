@@ -1,11 +1,13 @@
-"""Decoded-vs-interpreter parity: decode must be observationally invisible.
+"""Three-way simulator-tier parity: interp = decoded = compiled.
 
-The pre-decoded closure path (``Machine(decode=True)``, the default) and
-the reference interpreter (``decode=False``) must agree *bit for bit* —
-same cycles, halt values, per-thread stats, final memory images, raised
-``SimulatorError`` messages, and (under tracing) per-opcode histograms —
-on every program: the curated semantic cases, the fuzz reproducers, and
-freshly generated fuzz programs.
+The three speed tiers — the reference interpreter
+(``Machine(mode="interp")``), the pre-decoded closure path
+(``mode="decoded"``, the default) and the codegen tier
+(``mode="compiled"``) — must agree *bit for bit*: same cycles, halt
+values, per-thread stats, final memory images, raised error type and
+message, and (under tracing) per-opcode histograms — on every program:
+the curated semantic cases, the fuzz reproducers, and freshly generated
+fuzz programs.  The decoded tier is the compiled tier's parity oracle.
 """
 
 import dataclasses
@@ -29,6 +31,9 @@ from tests.test_reproducers import CASES as REPRO_CASES, REPRODUCERS
 #: the expensive part; virtual parity below covers every case)
 PHYSICAL_CASES = [c.name for c in CASES[:8]]
 
+#: every simulator speed tier, checked pairwise against the first.
+MODES = ("interp", "decoded", "compiled")
+
 
 def _snapshot(memory) -> dict:
     return {
@@ -37,7 +42,7 @@ def _snapshot(memory) -> dict:
     }
 
 
-def _observe(comp, physical, raw_inputs, memory_image, decode, tracer=None):
+def _observe(comp, physical, raw_inputs, memory_image, mode, tracer=None):
     """Run one compilation and return every observable as plain data."""
     memory = make_memory(memory_image)
     if physical:
@@ -62,13 +67,15 @@ def _observe(comp, physical, raw_inputs, memory_image, decode, tracer=None):
         physical=physical,
         input_provider=lambda tid, it: dict(inputs) if it == 0 else None,
         max_cycles=5_000_000,
-        decode=decode,
+        mode=mode,
         tracer=tracer,
     )
     try:
         run = machine.run()
     except SimulatorError as exc:
-        return {"error": str(exc)}
+        # Error *identity*: exact type and message must match across
+        # tiers (SimulatorError subclasses compare by name here).
+        return {"error": (type(exc).__name__, str(exc))}
     return {
         "run": dataclasses.asdict(run),
         "memory": _snapshot(memory),
@@ -76,9 +83,12 @@ def _observe(comp, physical, raw_inputs, memory_image, decode, tracer=None):
 
 
 def _assert_parity(comp, physical, raw_inputs, memory_image=None):
-    decoded = _observe(comp, physical, raw_inputs, memory_image, True)
-    interp = _observe(comp, physical, raw_inputs, memory_image, False)
-    assert decoded == interp
+    observed = {
+        mode: _observe(comp, physical, raw_inputs, memory_image, mode)
+        for mode in MODES
+    }
+    assert observed["decoded"] == observed["interp"]
+    assert observed["compiled"] == observed["interp"]
 
 
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
@@ -134,18 +144,27 @@ def test_opcode_histogram_equality_under_tracing():
     comp = compile_virtual(case.source)
     raw = comp.make_inputs(**case.inputs)
     traces = {}
-    for decode in (True, False):
+    for mode in MODES:
         tracer = Tracer()
-        _observe(comp, False, raw, None, decode, tracer=tracer)
-        traces[decode] = tracer
-    decoded_hist = _histogram(traces[True])
-    assert decoded_hist == _histogram(traces[False])
-    assert decoded_hist, "tracing should record per-opcode counters"
+        _observe(comp, False, raw, None, mode, tracer=tracer)
+        traces[mode] = tracer
+    hist = _histogram(traces["decoded"])
+    assert hist == _histogram(traces["interp"])
+    assert hist == _histogram(traces["compiled"])
+    assert hist, "tracing should record per-opcode counters"
     assert any(
-        span.name == "simulate.decode" for span in traces[True].spans
+        span.name == "simulate.decode" for span in traces["decoded"].spans
     ), "decoding under a tracer must emit a simulate.decode span"
     assert not any(
-        span.name == "simulate.decode" for span in traces[False].spans
+        span.name == "simulate.decode" for span in traces["interp"].spans
+    )
+    assert any(
+        span.name == "simulate.codegen" for span in traces["compiled"].spans
+    ), "compiling under a tracer must emit a simulate.codegen span"
+    assert not any(
+        span.name == "simulate.codegen"
+        for tier in ("interp", "decoded")
+        for span in traces[tier].spans
     )
 
 
@@ -174,12 +193,13 @@ def _trap_graph():
 
 def test_error_message_parity():
     messages = {}
-    for decode in (True, False):
+    for mode in MODES:
         with pytest.raises(SimulatorError) as exc_info:
-            Machine(_trap_graph(), physical=True, decode=decode).run()
-        messages[decode] = str(exc_info.value)
-    assert messages[True] == messages[False]
-    assert "two operands from bank A" in messages[True]
+            Machine(_trap_graph(), physical=True, mode=mode).run()
+        messages[mode] = (type(exc_info.value).__name__, str(exc_info.value))
+    assert messages["decoded"] == messages["interp"]
+    assert messages["compiled"] == messages["interp"]
+    assert "two operands from bank A" in messages["interp"][1]
 
 
 # -- ring enqueue/dequeue parity -------------------------------------------
@@ -202,7 +222,7 @@ def _ring_memory(prefill=(), capacity=4):
     return memory
 
 
-def _run_ring_graph(graph, memory, threads, decode, provider=None):
+def _run_ring_graph(graph, memory, threads, mode, provider=None):
     machine = Machine(
         graph,
         memory=memory,
@@ -210,12 +230,15 @@ def _run_ring_graph(graph, memory, threads, decode, provider=None):
         physical=True,
         input_provider=provider,
         max_cycles=100_000,
-        decode=decode,
+        mode=mode,
     )
     try:
         run = machine.run()
     except SimulatorError as exc:
-        return {"error": str(exc), "memory": _snapshot(memory)}
+        return {
+            "error": (type(exc).__name__, str(exc)),
+            "memory": _snapshot(memory),
+        }
     return {
         "run": dataclasses.asdict(run),
         "memory": _snapshot(memory),
@@ -228,13 +251,14 @@ def _run_ring_graph(graph, memory, threads, decode, provider=None):
 def _assert_ring_parity(make_graph, threads, prefill=(), capacity=4,
                         provider=None):
     observed = {}
-    for decode in (True, False):
-        observed[decode] = _run_ring_graph(
-            make_graph(), _ring_memory(prefill, capacity), threads, decode,
+    for mode in MODES:
+        observed[mode] = _run_ring_graph(
+            make_graph(), _ring_memory(prefill, capacity), threads, mode,
             provider,
         )
-    assert observed[True] == observed[False]
-    return observed[True]
+    assert observed["decoded"] == observed["interp"]
+    assert observed["compiled"] == observed["interp"]
+    return observed["interp"]
 
 
 def _a(i):
@@ -396,13 +420,14 @@ def test_ring_error_parity_unknown_ring_and_bad_operand():
 
     for make_graph in (unknown, imm_dst):
         messages = {}
-        for decode in (True, False):
+        for mode in MODES:
             out = _run_ring_graph(
-                make_graph(), _ring_memory(), 1, decode
+                make_graph(), _ring_memory(), 1, mode
             )
             assert "error" in out
-            messages[decode] = out["error"]
-        assert messages[True] == messages[False]
+            messages[mode] = out["error"]
+        assert messages["decoded"] == messages["interp"]
+        assert messages["compiled"] == messages["interp"]
 
 
 def test_unreached_illegal_instruction_does_not_trap_at_decode():
@@ -431,6 +456,6 @@ def test_unreached_illegal_instruction_does_not_trap_at_decode():
         },
         (),
     )
-    for decode in (True, False):
-        machine = Machine(graph, physical=True, decode=decode)
+    for mode in MODES:
+        machine = Machine(graph, physical=True, mode=mode)
         assert machine.run().results == [(0, (7,))]

@@ -8,7 +8,11 @@ compiler change — losing an optimization — must not.
 
 import pytest
 
-from repro.fuzz.inject import broken_constant_fold, disabled_constant_fold
+from repro.fuzz.inject import (
+    broken_codegen,
+    broken_constant_fold,
+    disabled_constant_fold,
+)
 from repro.fuzz.oracle import check_program, default_configs
 from repro.fuzz.shrink import shrink
 
@@ -84,6 +88,61 @@ def test_benign_injection_passes_the_oracle():
             FOLD_WITNESS, VECTORS, configs=default_configs(["no-opt"])
         )
     assert report.ok, [str(d) for d in report.divergences]
+
+
+def test_sim_compiled_config_agrees_with_reference():
+    """The codegen tier rides the matrix; a healthy simulator agrees."""
+    report = check_program(
+        FOLD_WITNESS, VECTORS, configs=default_configs(["sim-compiled"])
+    )
+    assert report.invalid is None
+    assert report.ok, [str(d) for d in report.divergences]
+    assert set(report.configs_run) == {"ref", "sim-compiled"}
+
+
+def test_miscompiled_simulator_caught_by_sim_compiled_config():
+    """A codegen-tier bug diverges sim-compiled from the decoded ref.
+
+    FOLD_WITNESS carries runtime xors (``j5 ^ j2``, ``mixed ^ j7``), so
+    the patched ALU template changes what the *generated* code computes
+    while the decoded reference stays correct.
+    """
+    with broken_codegen(op="xor", delta=1):
+        report = check_program(
+            FOLD_WITNESS, VECTORS, configs=default_configs(["sim-compiled"])
+        )
+    assert not report.ok
+    kinds = {d.kind for d in report.divergences}
+    assert "results" in kinds
+
+
+def test_miscompiled_simulator_invisible_to_decoded_only_configs():
+    """Control: the same injection passes a matrix that never runs the
+    compiled tier — the bug lives in the simulator backend, not in the
+    compiled program, so decoded-vs-decoded comparisons can't see it."""
+    with broken_codegen(op="xor", delta=1):
+        report = check_program(
+            FOLD_WITNESS, VECTORS, configs=default_configs(["no-opt"])
+        )
+    assert report.ok, [str(d) for d in report.divergences]
+
+
+def test_shrinker_minimizes_injected_codegen_bug():
+    """ddmin cuts the codegen-bug witness down to a runtime-xor core."""
+    configs = default_configs(["sim-compiled"])
+
+    def diverges(source):
+        report = check_program(source, VECTORS, configs=configs)
+        return report.invalid is None and bool(report.divergences)
+
+    with broken_codegen(op="xor", delta=1):
+        assert diverges(FOLD_WITNESS)
+        minimized, stats = shrink(FOLD_WITNESS, diverges)
+    lines = [l for l in minimized.splitlines() if l.strip()]
+    assert len(lines) <= 15, minimized
+    assert stats.lines_after < stats.lines_before
+    # A runtime xor must survive minimization - it IS the bug.
+    assert "^" in minimized
 
 
 def test_shrinker_minimizes_injected_miscompile():

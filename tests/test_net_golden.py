@@ -40,18 +40,27 @@ CONFIG = NetConfig(
 )
 
 
-def _transcript() -> str:
+def _transcript(sim_mode: str | None = None) -> str:
     import dataclasses
 
     app = stream_app("nat", None)
     app = dataclasses.replace(app, comp=compile_virtual(app.bundle.source))
-    runtime = NetRuntime(app, CONFIG)
+    config = dataclasses.replace(CONFIG, sim_mode=sim_mode)
+    runtime = NetRuntime(app, config)
     result = runtime.run()
     return "\n".join(stream_trace_lines(result, runtime.memory)) + "\n"
 
 
 def test_nat_stream_reproduces_exactly_across_runs():
     assert _transcript() == _transcript()
+
+
+def test_nat_stream_compiled_tier_transcript_is_byte_identical():
+    """The codegen tier must be invisible to the streaming runtime: the
+    whole transcript — packet order, per-packet timing, drops, RX
+    high-water marks, the conservation verdict and the memory digest —
+    must match the decoded tier's byte for byte."""
+    assert _transcript("compiled") == _transcript("decoded")
 
 
 def test_nat_stream_matches_golden(update_goldens):
