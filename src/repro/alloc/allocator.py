@@ -116,7 +116,9 @@ def _solve_chain(model, options: AllocOptions, tracer, phase: str = ""):
     if _usable(solution):
         return solution, None
     reason = crash if crash else f"status={solution.status}"
-    if not options.fallback or options.solve.engine == "bnb":
+    # No point retrying bnb when it was the primary engine — or when the
+    # portfolio already raced it against highs and both lost.
+    if not options.fallback or options.solve.engine in ("bnb", "portfolio"):
         return None, reason
     retry_options = replace(
         options.solve, engine="bnb", time_limit=options.fallback_time_limit

@@ -91,7 +91,7 @@ class BatchResult:
         return sum(1 for u in self.units if u.cache == "miss")
 
     def summary(self) -> dict[str, object]:
-        return {
+        out = {
             "units": len(self.units),
             "ok": len(self.ok),
             "failed": len(self.failed),
@@ -100,6 +100,11 @@ class BatchResult:
             "jobs": self.jobs,
             "seconds": round(self.seconds, 6),
         }
+        if self.cache_stats:
+            #: full worker-side CacheStats aggregate (hits / misses /
+            #: writes / invalidations), not just the per-unit outcomes.
+            out["cache"] = dict(self.cache_stats)
+        return out
 
 
 def _normalize(sources: Iterable) -> list[tuple[str, str | None]]:
@@ -121,15 +126,20 @@ def _compile_unit(
     cache_dir: str | None,
     trace: bool,
     keep_artifacts: bool,
-) -> tuple[BatchUnit, list]:
+) -> tuple[BatchUnit, list, dict]:
     """One unit of work; runs in-process or inside a pool worker.
 
     Never raises: every failure — unreadable file, any compile-phase
     :class:`NovaError`, even an unexpected internal error — comes back
     as a :class:`BatchError` so the rest of the batch proceeds.
+
+    Returns ``(unit, spans, cache_stats)``; the stats dict carries the
+    worker-side :class:`repro.cache.CacheStats` counters so the driver
+    can aggregate hits/misses/writes/invalidations across the pool.
     """
     tracer = Tracer() if trace else None
     span_source = ensure(tracer)
+    cache = None
     start = time.perf_counter()
     with span_source.span("unit", file=name) as sp:
         try:
@@ -152,7 +162,11 @@ def _compile_unit(
             )
             if sp:
                 sp.add(outcome=f"error:{unit.error.kind}")
-            return unit, list(span_source.spans) if tracer else []
+            return (
+                unit,
+                list(span_source.spans) if tracer else [],
+                cache.stats.as_dict() if cache is not None else {},
+            )
         unit = BatchUnit(
             name=name,
             ok=True,
@@ -163,14 +177,20 @@ def _compile_unit(
         )
         if sp:
             sp.add(outcome="ok", cache=cache_state)
-    return unit, list(span_source.spans) if tracer else []
+    return (
+        unit,
+        list(span_source.spans) if tracer else [],
+        cache.stats.as_dict() if cache is not None else {},
+    )
 
 
 def default_jobs() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def scatter(worker, arg_tuples: Sequence[tuple], jobs: int = 1) -> list:
+def scatter(
+    worker, arg_tuples: Sequence[tuple], jobs: int = 1, pool=None
+) -> list:
     """Run ``worker(*args)`` for every tuple; results in input order.
 
     The generic fan-out underneath :func:`compile_many`, also reused by
@@ -180,13 +200,27 @@ def scatter(worker, arg_tuples: Sequence[tuple], jobs: int = 1) -> list:
     module-level function and the argument tuples picklable.  Workers
     are expected to catch their own exceptions and return structured
     error records — a raise here propagates and kills the whole job.
+
+    ``pool`` submits to an existing executor instead of forking a fresh
+    one (``jobs`` is then ignored and the pool is left running): the
+    compile daemon, ``novac fuzz`` and ``novac pump --chips`` reuse one
+    warm pool across calls rather than paying per-call fork + import.
     """
+    if pool is not None:
+        futures = [pool.submit(worker, *args) for args in arg_tuples]
+        return [future.result() for future in futures]
     jobs = max(1, int(jobs))
     if jobs == 1 or len(arg_tuples) <= 1:
         return [worker(*args) for args in arg_tuples]
     with ProcessPoolExecutor(max_workers=min(jobs, len(arg_tuples))) as pool:
         futures = [pool.submit(worker, *args) for args in arg_tuples]
         return [future.result() for future in futures]
+
+
+def merge_cache_stats(total: dict[str, int], stats: dict[str, int]) -> None:
+    """Accumulate one worker's :class:`CacheStats` dict into ``total``."""
+    for key, value in stats.items():
+        total[key] = total.get(key, 0) + value
 
 
 def compile_many(
@@ -196,6 +230,7 @@ def compile_many(
     cache_dir: str | Path | None = None,
     tracer=None,
     keep_artifacts: bool = True,
+    pool=None,
 ) -> BatchResult:
     """Compile every source; never raises on a per-unit compile failure.
 
@@ -204,12 +239,15 @@ def compile_many(
     in input order regardless.  With ``keep_artifacts=False`` the
     (potentially large) :class:`Compilation` objects are dropped in the
     workers — the CLI's batch summary only needs the outcome records.
+    ``pool`` reuses an existing executor (see :func:`scatter`).
     """
     options = options or CompileOptions()
     tracer = ensure(tracer)
     items = _normalize(sources)
     cache_dir = str(cache_dir) if cache_dir is not None else None
     jobs = max(1, int(jobs))
+    if pool is not None:
+        jobs = getattr(pool, "_max_workers", jobs)
     start = time.perf_counter()
     with tracer.span("batch", sources=len(items), jobs=jobs) as sp:
         outcomes = scatter(
@@ -219,23 +257,21 @@ def compile_many(
                 for name, text in items
             ],
             jobs,
+            pool=pool,
         )
         units = []
         cache_stats: dict[str, int] = {}
-        for unit, spans in outcomes:
+        for unit, spans, worker_stats in outcomes:
             units.append(unit)
             tracer.adopt(spans, parent="batch")
-        if cache_dir is not None:
-            hits = sum(1 for u in units if u.cache == "hit")
-            misses = sum(1 for u in units if u.cache == "miss")
-            cache_stats = {"hits": hits, "misses": misses}
+            merge_cache_stats(cache_stats, worker_stats)
         seconds = time.perf_counter() - start
         if sp:
             sp.add(
                 ok=sum(1 for u in units if u.ok),
                 failed=sum(1 for u in units if not u.ok),
-                cache_hits=cache_stats.get("hits", 0),
-                cache_misses=cache_stats.get("misses", 0),
+                cache_hits=sum(1 for u in units if u.cache == "hit"),
+                cache_misses=sum(1 for u in units if u.cache == "miss"),
             )
     return BatchResult(
         units=units, seconds=seconds, jobs=jobs, cache_stats=cache_stats

@@ -38,20 +38,38 @@ from repro.trace import ensure
 CACHE_FORMAT = 1
 
 
-def _plain(value):
-    """Reduce an options object to JSON-serializable plain data."""
+def _plain(value, path: str = "options"):
+    """Reduce an options object to JSON-serializable plain data.
+
+    Dataclass fields declared with ``metadata={"fingerprint": False}``
+    are runtime-only plumbing (e.g. the warm-start hint directory on
+    :class:`repro.ilp.solve.SolveOptions`) and are excluded, so setting
+    them never changes a cache key.
+
+    A value outside the plain-data vocabulary raises :class:`TypeError`
+    naming the offending field: the old ``repr(value)`` fallback embedded
+    memory addresses for arbitrary objects (``<object at 0x7f...>``),
+    which silently turned every lookup into a cross-process miss.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
-            f.name: _plain(getattr(value, f.name))
+            f.name: _plain(getattr(value, f.name), f"{path}.{f.name}")
             for f in dataclasses.fields(value)
+            if f.metadata.get("fingerprint", True)
         }
     if isinstance(value, (list, tuple)):
-        return [_plain(item) for item in value]
+        return [_plain(item, f"{path}[{i}]") for i, item in enumerate(value)]
     if isinstance(value, dict):
-        return {str(k): _plain(v) for k, v in sorted(value.items())}
+        return {
+            str(k): _plain(v, f"{path}.{k}") for k, v in sorted(value.items())
+        }
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    return repr(value)
+    raise TypeError(
+        f"cannot fingerprint option field {path}: {type(value).__name__} is "
+        f"not plain data (its repr may embed memory addresses, which would "
+        f"make every cache lookup a miss across processes)"
+    )
 
 
 def options_fingerprint(options: CompileOptions) -> str:

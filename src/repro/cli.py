@@ -11,6 +11,9 @@ Usage::
     novac fuzz --seed 0 --count 200 # differential fuzzing campaign
     novac fuzz --net --count 100    # streaming-scenario fuzzing campaign
     novac pump --app nat --chips 2  # whole-chip packet streaming (6x4)
+    novac serve --socket /tmp/n.sock --cache-dir .cache  # compile daemon
+    novac --connect /tmp/n.sock program.nova  # compile via the daemon
+    novac client --socket /tmp/n.sock --stats # daemon introspection
 
 With more than one source file ``novac`` switches to batch mode: every
 file is compiled (failures don't stop the rest), a one-line outcome per
@@ -40,6 +43,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.ixp.net import pump_main
 
         return pump_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        from repro.client import client_main
+
+        return client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="novac", description="Nova → IXP1200 compiler"
     )
@@ -103,6 +114,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write the trace as JSON lines, one span per line",
     )
+    parser.add_argument(
+        "--connect",
+        metavar="ENDPOINT",
+        help=(
+            "compile via a novac serve daemon (Unix socket path or "
+            "host:port); falls back to in-process when unreachable"
+        ),
+    )
     args = parser.parse_args(argv)
 
     tracer = (
@@ -131,6 +150,40 @@ def _make_options(args) -> CompileOptions:
     return options
 
 
+def _remote_client(args):
+    """A live daemon connection for --connect, or None (with a notice).
+
+    Output modes the daemon cannot serve (--cps needs the CPS IR,
+    --run and --stats need the full artifact) also compile locally.
+    """
+    if args.connect is None:
+        return None
+    if args.cps or args.stats or args.run is not None:
+        print(
+            "novac: --cps/--stats/--run need the full artifact; "
+            "compiling in-process",
+            file=sys.stderr,
+        )
+        return None
+    from repro.client import try_connect
+
+    client = try_connect(args.connect)
+    if client is None:
+        print(
+            f"novac: no daemon at {args.connect}; compiling in-process",
+            file=sys.stderr,
+        )
+    return client
+
+
+def _adopt_remote_spans(tracer, body) -> None:
+    if tracer is None or not body.get("spans"):
+        return
+    from repro.trace import span_from_dict
+
+    tracer.adopt([span_from_dict(sp) for sp in body["spans"]])
+
+
 def _single_main(args, tracer) -> int:
     source_path = args.sources[0]
     try:
@@ -139,6 +192,27 @@ def _single_main(args, tracer) -> int:
     except OSError as exc:
         print(f"novac: {exc}", file=sys.stderr)
         return 1
+
+    client = _remote_client(args)
+    if client is not None:
+        from repro.client import ServeError
+
+        with client:
+            try:
+                body = client.compile_source(
+                    source,
+                    filename=source_path,
+                    options=_make_options(args),
+                    payload="listing" if args.listing else "pretty",
+                    trace=tracer is not None,
+                )
+            except ServeError as exc:
+                print(f"novac: {exc}", file=sys.stderr)
+                return 1
+        _adopt_remote_spans(tracer, body)
+        if body.get("payload"):
+            print(body["payload"], end="")
+        return 0
 
     options = _make_options(args)
     try:
@@ -171,6 +245,11 @@ def _batch_main(args, tracer) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    client = _remote_client(args)
+    if client is not None:
+        return _remote_batch(args, tracer, client)
+
     result = compile_many(
         args.sources,
         jobs=args.jobs,
@@ -192,7 +271,74 @@ def _batch_main(args, tracer) -> int:
         f"cache {summary['cache_hits']} hits / "
         f"{summary['cache_misses']} misses)"
     )
+    stats = summary.get("cache")
+    if stats:
+        rendered = "  ".join(
+            f"{key}={value}" for key, value in sorted(stats.items())
+        )
+        print(f"cache stats: {rendered}")
     return 0 if not result.failed else 1
+
+
+def _remote_batch(args, tracer, client) -> int:
+    """Batch compile through a novac serve daemon (--connect).
+
+    Sources are read client-side and shipped as text — the daemon need
+    not share a filesystem with the caller.  An unreadable file is a
+    failed unit, not a fatal error, matching local batch semantics.
+    """
+    from repro.client import ServeError
+
+    units = []
+    unreadable = []
+    for path in args.sources:
+        try:
+            with open(path) as handle:
+                units.append((path, handle.read()))
+        except OSError as exc:
+            unreadable.append((path, str(exc)))
+    failed = len(unreadable)
+    for path, message in unreadable:
+        print(f"{path}: error: {message} [OSError]")
+    response = None
+    if units:
+        with client:
+            try:
+                response = client.batch(
+                    units,
+                    options=_make_options(args),
+                    trace=tracer is not None,
+                )
+            except ServeError as exc:
+                print(f"novac: {exc}", file=sys.stderr)
+                return 1
+    hits = misses = 0
+    if response is not None:
+        for (path, _), body in zip(units, response["units"]):
+            _adopt_remote_spans(tracer, body)
+            if body.get("ok"):
+                print(
+                    f"{path}: ok ({body.get('seconds', 0.0):.2f}s, "
+                    f"cache {body.get('cache')})"
+                )
+            else:
+                error = body.get("error") or {}
+                location = error.get("location")
+                prefix = f"{location}: " if location else ""
+                print(
+                    f"{path}: error: {prefix}{error.get('message')} "
+                    f"[{error.get('kind')}]"
+                )
+                failed += 1
+        summary = response.get("summary", {})
+        hits = summary.get("cache_hits", 0)
+        misses = summary.get("cache_misses", 0)
+    total = len(args.sources)
+    print(
+        f"batch: {total - failed}/{total} ok via {args.connect} "
+        f"(cache {hits} hits / {misses} misses)"
+    )
+    return 0 if not failed else 1
 
 
 def _render(result, args, tracer) -> int:

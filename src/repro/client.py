@@ -1,0 +1,248 @@
+"""``repro.client`` — blocking client for the ``novac serve`` daemon.
+
+A thin synchronous wrapper over the newline-JSON protocol
+(:mod:`repro.proto`): open a socket, write one request line, read one
+response line.  Used by ``novac client`` and by ``novac --connect``,
+whose contract is *graceful degradation* — :func:`try_connect` returns
+``None`` when no daemon is reachable and the CLI falls back to an
+in-process compile, so a dead daemon never breaks a build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+
+from repro.compiler import CompileOptions
+from repro.proto import MAX_LINE, ProtocolError, decode, encode, options_to_wire
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with a structured error (or the link died)."""
+
+    def __init__(self, kind: str, message: str, location: str | None = None):
+        prefix = f"{location}: " if location else ""
+        super().__init__(f"{prefix}{message} [{kind}]")
+        self.kind = kind
+        self.location = location
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, str | tuple[str, int]]:
+    """``('unix', path)`` or ``('tcp', (host, port))``.
+
+    Accepts a Unix socket path (anything with a ``/`` or no ``:``), a
+    ``host:port`` pair, or an explicit ``tcp:host:port``.
+    """
+    if endpoint.startswith("tcp:"):
+        host, _, port = endpoint[4:].rpartition(":")
+        return "tcp", (host or "127.0.0.1", int(port))
+    if "/" in endpoint or ":" not in endpoint:
+        return "unix", endpoint
+    host, _, port = endpoint.rpartition(":")
+    return "tcp", (host or "127.0.0.1", int(port))
+
+
+class ServeClient:
+    """One connection; requests are answered in order over it."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    @staticmethod
+    def connect(endpoint: str, timeout: float | None = None) -> "ServeClient":
+        kind, address = parse_endpoint(endpoint)
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address)
+        sock.settimeout(None)
+        return ServeClient(sock)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- protocol ------------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """One round trip; raises :class:`ServeError` on link failure."""
+        try:
+            self._sock.sendall(encode(payload))
+            line = self._reader.readline(MAX_LINE + 1)
+        except OSError as exc:
+            raise ServeError("ConnectionError", str(exc)) from None
+        if not line:
+            raise ServeError("ConnectionError", "daemon closed the connection")
+        try:
+            return decode(line)
+        except ProtocolError as exc:
+            raise ServeError("ProtocolError", str(exc)) from None
+
+    def _checked(self, payload: dict) -> dict:
+        response = self.request(payload)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("kind", "ServeError"),
+                error.get("message", "request failed"),
+                error.get("location"),
+            )
+        return response
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._checked({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self._checked({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self._checked({"op": "shutdown"})
+
+    def crash_worker(self) -> dict:
+        """Returns the daemon's structured failure (never raises on it)."""
+        return self.request({"op": "crash-worker"})
+
+    def compile_source(
+        self,
+        source: str,
+        filename: str = "<remote>",
+        options: CompileOptions | None = None,
+        payload: str = "pretty",
+        trace: bool = False,
+        raw: bool = False,
+    ) -> dict:
+        """Compile one source; the response body (see :mod:`repro.proto`).
+
+        ``raw=True`` returns structured compile failures as the response
+        dict instead of raising, mirroring batch-unit semantics.
+        """
+        request = {
+            "op": "compile",
+            "source": source,
+            "filename": filename,
+            "options": options_to_wire(options or CompileOptions()),
+            "payload": payload,
+            "trace": trace,
+        }
+        if raw:
+            return self.request(request)
+        return self._checked(request)
+
+    def compile_file(self, path: str, **kwargs) -> dict:
+        with open(path) as handle:
+            return self.compile_source(handle.read(), filename=path, **kwargs)
+
+    def batch(
+        self,
+        units: list[tuple[str, str]],
+        options: CompileOptions | None = None,
+        payload: str = "none",
+        trace: bool = False,
+    ) -> dict:
+        """Compile many ``(filename, source)`` pairs in one request."""
+        return self._checked(
+            {
+                "op": "batch",
+                "units": [
+                    {"filename": name, "source": text} for name, text in units
+                ],
+                "options": options_to_wire(options or CompileOptions()),
+                "payload": payload,
+                "trace": trace,
+            }
+        )
+
+
+def try_connect(
+    endpoint: str, timeout: float = 2.0
+) -> ServeClient | None:
+    """A live client, or None when no daemon answers a ping there."""
+    try:
+        client = ServeClient.connect(endpoint, timeout=timeout)
+    except OSError:
+        return None
+    try:
+        client.ping()
+    except ServeError:
+        client.close()
+        return None
+    return client
+
+
+def _endpoint_from_args(args) -> str:
+    if args.socket:
+        return args.socket
+    return f"tcp:{args.host}:{args.port}"
+
+
+def client_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="novac client", description="talk to a novac serve daemon"
+    )
+    parser.add_argument("--socket", metavar="PATH", help="Unix socket path")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, metavar="N")
+    parser.add_argument("--ping", action="store_true")
+    parser.add_argument("--stats", action="store_true")
+    parser.add_argument("--shutdown", action="store_true")
+    parser.add_argument(
+        "--listing", action="store_true",
+        help="ask for IXP assembler-style output",
+    )
+    parser.add_argument("sources", nargs="*", metavar="source")
+    args = parser.parse_args(argv)
+    if not args.socket and args.port is None:
+        parser.error("one of --socket or --port is required")
+    endpoint = _endpoint_from_args(args)
+    try:
+        client = ServeClient.connect(endpoint, timeout=5.0)
+    except OSError as exc:
+        print(f"novac client: cannot reach {endpoint}: {exc}", file=sys.stderr)
+        return 1
+    failed = 0
+    with client:
+        try:
+            if args.ping:
+                pong = client.ping()
+                print(f"pong (daemon pid {pong.get('pid')})")
+            if args.stats:
+                import json
+
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            for path in args.sources:
+                try:
+                    body = client.compile_file(
+                        path, payload="listing" if args.listing else "pretty"
+                    )
+                except (OSError, ServeError) as exc:
+                    print(f"novac client: {path}: {exc}", file=sys.stderr)
+                    failed += 1
+                    continue
+                if body.get("payload"):
+                    print(body["payload"], end="")
+            if args.shutdown:
+                client.shutdown()
+                print("daemon drained and stopped")
+        except ServeError as exc:
+            print(f"novac client: {exc}", file=sys.stderr)
+            return 1
+    return 0 if not failed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(client_main())

@@ -681,6 +681,7 @@ def run_net_campaign(
     tracer=None,
     shrink_budget: int = 160,
     shrink_findings: bool = True,
+    pool=None,
 ) -> NetFuzzResult:
     """Fuzz ``count`` streaming scenarios from ``seed`` upward.
 
@@ -690,6 +691,8 @@ def run_net_campaign(
     driver process, and every finding becomes a witness directory
     under ``artifact_dir``.  The three validation-regression probes
     run first and are reported alongside scenario verdicts.
+    ``pool`` reuses an existing executor across campaigns (see
+    :func:`repro.batch.scatter`).
     """
     gen_config = gen_config or NetGenConfig()
     tracer = ensure(tracer)
@@ -703,6 +706,7 @@ def run_net_campaign(
                 for s in range(seed, seed + count)
             ],
             jobs,
+            pool=pool,
         )
         units = []
         for unit, spans in outcomes:

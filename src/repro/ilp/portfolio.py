@@ -1,0 +1,400 @@
+"""``repro.ilp.portfolio`` — race ``highs`` and ``bnb``, warm-started.
+
+The compile daemon's cache-miss path is dominated by the allocation ILP,
+and neither engine dominates the other: HiGHS branch & cut wins on the
+paper-scale models, while our own branch-and-bound — seeded with a good
+incumbent — can prove optimality from the root LP alone.  The portfolio
+runs both engines concurrently in threads (scipy's HiGHS wrappers
+release the GIL, so the race is genuinely parallel), takes the first
+solution proved feasible-within-gap, and cancels the loser: ``bnb``
+cooperatively via a per-node poll, ``highs`` by abandonment (scipy
+exposes no interrupt — the thread is bounded by its own time limit).
+
+The race is *core-adaptive*: concurrency only pays when a second core
+exists.  On a single-CPU host (measured: racing doubles wall time —
+both engines are crunching the same memory-bound sparse matrices) the
+portfolio runs its engines in sequence instead, ``highs`` first, and
+only falls through to ``bnb`` when ``highs`` was not decisive, so the
+portfolio costs the price of its best engine plus epsilon.
+
+Warm starts come from a :class:`HintStore`: a directory of prior
+solutions, each stored as the *names* of its one-valued variables plus
+the objective.  Names survive model rebuilds (variable ids do not), so a
+hint recorded under one option point maps onto the nearest prior model's
+successor — the daemon keys hints by the front-end fingerprint, so
+allocator-knob-only variants of one program share one incumbent, the
+same way Merlin's incremental provisioning reuses solutions of
+near-identical models.  A hint is *validated* against the target model
+before use (constraint rows within tolerance); a stale or structurally
+incompatible hint is simply ignored.
+
+Spans: one ``solve`` span (``engine="portfolio"``) wrapping the race,
+with ``portfolio.warm_start`` (hint lookup outcome) and
+``portfolio.race`` (per-engine status/seconds and the winner) nested
+inside — see ``docs/TRACING.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.ilp.model import Model, Solution
+from repro.trace import NULL, ensure
+
+#: Constraint-row tolerance when validating a hint against a model.
+FEAS_TOL = 1e-6
+
+#: Bumped when the hint file layout changes; stale formats read as "no hint".
+HINT_FORMAT = 1
+
+
+class HintStore:
+    """Directory of prior ILP solutions, keyed by the caller's model key.
+
+    Same two-level fan-out and atomic-write discipline as
+    :class:`repro.cache.CompileCache`; any unreadable entry reads as "no
+    hint", never an exception.  Entries are tiny (names of one-valued
+    variables only — a few KB even for the paper's 10^5-variable models).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key[2:]}.json"
+
+    def load(self, key: str) -> dict | None:
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != HINT_FORMAT
+            or not isinstance(doc.get("ones"), list)
+            or not isinstance(doc.get("objective"), (int, float))
+        ):
+            return None
+        return doc
+
+    def save(self, key: str, model: Model, solution: Solution) -> None:
+        """Record a solution's one-valued variable names; atomic."""
+        ones = [
+            model.name_of(var)
+            for var in range(model.num_vars)
+            if solution.values[var] > 0.5
+        ]
+        doc = {
+            "format": HINT_FORMAT,
+            "objective": float(solution.objective),
+            "status": solution.status,
+            "ones": ones,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def hint_incumbent(
+    model: Model, hint: dict
+) -> tuple[float, np.ndarray] | None:
+    """Map a stored hint onto ``model``; None unless it is feasible there.
+
+    Variables are matched by *name* (family + index tuple), so the hint
+    survives model rebuilds and moderate option changes; names the model
+    does not know are dropped, and the projected point is then checked
+    against every constraint row.  The objective is recomputed from the
+    model's own cost vector — the stored value is advisory only.
+    """
+    names = {model.name_of(var): var for var in range(model.num_vars)}
+    x = np.zeros(model.num_vars)
+    for name in hint["ones"]:
+        var = names.get(name)
+        if var is not None:
+            x[var] = 1.0
+    c, matrix, lb, ub = model.standard_form()
+    if len(model.constraints):
+        row = matrix @ x
+        if np.any(row < lb - FEAS_TOL) or np.any(row > ub + FEAS_TOL):
+            return None
+    return float(c @ x), x
+
+
+def _decisive(solution: Solution | None) -> bool:
+    """Does this result end the race immediately?
+
+    A solve proved optimal (within the engine's own MIP-gap termination)
+    wins; an ``infeasible`` verdict is equally final — no other engine
+    can do better on the same model.
+    """
+    if solution is None:
+        return False
+    if solution.status == "infeasible":
+        return True
+    return solution.status == "optimal"
+
+
+def _usable(solution: Solution | None) -> bool:
+    if solution is None:
+        return False
+    return math.isfinite(solution.objective)
+
+
+def effective_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity
+        return os.cpu_count() or 1
+
+
+def solve_portfolio(
+    model: Model, options, tracer=None
+) -> Solution:
+    """Race ``highs`` and ``bnb`` on one model; first proved result wins.
+
+    Mirrors :func:`repro.ilp.solve.solve_model`'s contract (one ``solve``
+    span, same counters) so the allocator's fallback chain and the
+    Figure 7 benchmarks read portfolio solves exactly like single-engine
+    ones.
+    """
+    from repro.ilp.solve import _solve_bnb, _solve_highs
+
+    tracer = ensure(tracer)
+    with tracer.span("solve", engine="portfolio") as sp:
+        # Pre-warm the memoized standard form once, before both racers
+        # would otherwise build it concurrently.
+        model.standard_form()
+        store, warm = _load_hint(model, options, tracer)
+        if effective_cores() >= 2:
+            solution, winner, race = _run_race(
+                model, options, tracer, warm, _solve_bnb, _solve_highs
+            )
+        else:
+            solution, winner, race = _run_sequential(
+                model, options, tracer, warm, _solve_bnb, _solve_highs
+            )
+        if (
+            store is not None
+            and _usable(solution)
+            and solution.status in ("optimal", "timeout")
+        ):
+            store.save(options.hint_key, model, solution)
+        if sp:
+            sp.add(
+                rows=len(model.constraints),
+                cols=model.num_vars,
+                nonzeros=model.nonzeros(),
+                status=solution.status,
+                objective=float(solution.objective),
+                root_relaxation_seconds=solution.root_relaxation_seconds,
+                integer_seconds=solution.integer_seconds,
+                nodes=solution.nodes,
+                gap=float(solution.gap),
+                winner=winner,
+                **race,
+            )
+    return solution
+
+
+def _load_hint(model: Model, options, tracer):
+    """Look up and validate a warm-start hint; (store, incumbent|None)."""
+    if not options.hint_dir or not options.hint_key:
+        return None, None
+    store = HintStore(options.hint_dir)
+    with tracer.span(
+        "portfolio.warm_start", key=options.hint_key[:12]
+    ) as sp:
+        hint = store.load(options.hint_key)
+        warm = hint_incumbent(model, hint) if hint is not None else None
+        if hint is None:
+            outcome = "none"
+        elif warm is None:
+            outcome = "stale"  # structurally incompatible or infeasible
+        else:
+            outcome = "seeded"
+        if sp:
+            sp.add(outcome=outcome)
+            if warm is not None:
+                sp.add(incumbent=warm[0])
+    return store, warm
+
+
+def _run_sequential(model, options, tracer, warm, _solve_bnb, _solve_highs):
+    """The single-core portfolio: engines in sequence, not in parallel.
+
+    ``highs`` goes first — warm-bounded it beats everything else we
+    measured, including incumbent-seeded ``bnb`` — and a decisive result
+    skips ``bnb`` entirely, so the common case costs one engine.  Same
+    return contract and span shape as :func:`_run_race`.
+    """
+    counters: dict[str, object] = {}
+    winner = "none"
+    best: Solution | None = None
+    with tracer.span(
+        "portfolio.race",
+        engines="highs,bnb",
+        warm=int(warm is not None),
+        mode="sequential",
+    ) as sp:
+        start = time.perf_counter()
+        runs = [
+            (
+                "highs",
+                lambda: _solve_highs(
+                    model,
+                    replace(options, engine="highs"),
+                    NULL,
+                    upper_bound=warm[0] if warm else None,
+                ),
+            ),
+            (
+                "bnb",
+                lambda: _solve_bnb(
+                    model, replace(options, engine="bnb"), incumbent=warm
+                ),
+            ),
+        ]
+        for index, (engine, run) in enumerate(runs):
+            try:
+                solution = run()
+            except Exception as exc:  # a crashed engine loses
+                counters[f"{engine}_status"] = f"crash:{type(exc).__name__}"
+                continue
+            counters[f"{engine}_status"] = solution.status
+            counters[f"{engine}_seconds"] = round(
+                time.perf_counter() - start, 6
+            )
+            if _decisive(solution):
+                winner = engine
+                best = solution
+                for skipped, _ in runs[index + 1 :]:
+                    counters[f"{skipped}_status"] = "skipped"
+                break
+            if best is None or (
+                _usable(solution)
+                and solution.objective < (best.objective if best else math.inf)
+            ):
+                best = solution
+        if sp:
+            sp.add(winner=winner, **counters)
+    if best is None:
+        best = Solution(
+            "failed",
+            math.inf,
+            np.zeros(model.num_vars),
+            0.0,
+            time.perf_counter() - start,
+            0,
+            math.inf,
+        )
+    return best, winner, counters
+
+
+def _run_race(model, options, tracer, warm, _solve_bnb, _solve_highs):
+    """The two-thread race; returns (solution, winner, span counters)."""
+    cancel = threading.Event()
+
+    def run_highs():
+        opts = replace(options, engine="highs")
+        return _solve_highs(
+            model, opts, NULL, upper_bound=warm[0] if warm else None
+        )
+
+    def run_bnb():
+        opts = replace(options, engine="bnb")
+        return _solve_bnb(model, opts, incumbent=warm, cancel=cancel.is_set)
+
+    counters: dict[str, object] = {}
+    winner = "none"
+    best: Solution | None = None
+    with tracer.span(
+        "portfolio.race", engines="highs+bnb", warm=int(warm is not None)
+    ) as sp:
+        start = time.perf_counter()
+        pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="portfolio"
+        )
+        try:
+            futures = {
+                pool.submit(run_highs): "highs",
+                pool.submit(run_bnb): "bnb",
+            }
+            pending = set(futures)
+            while pending and winner == "none":
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    engine = futures[future]
+                    try:
+                        solution = future.result()
+                    except Exception as exc:  # a crashed racer loses
+                        counters[f"{engine}_status"] = (
+                            f"crash:{type(exc).__name__}"
+                        )
+                        continue
+                    counters[f"{engine}_status"] = solution.status
+                    counters[f"{engine}_seconds"] = round(
+                        time.perf_counter() - start, 6
+                    )
+                    if _decisive(solution):
+                        winner = engine
+                        best = solution
+                        break
+                    # Not decisive (timeout / failed): keep the best
+                    # incumbent in case the other engine fails too.
+                    if best is None or (
+                        _usable(solution)
+                        and solution.objective
+                        < (best.objective if best else math.inf)
+                    ):
+                        best = solution
+            for future in pending:
+                counters[f"{futures[future]}_status"] = "cancelled"
+        finally:
+            cancel.set()
+            pool.shutdown(wait=False, cancel_futures=True)
+        if sp:
+            sp.add(winner=winner, **counters)
+
+    if best is None:
+        # Both racers crashed; report a failed solve (the allocator's
+        # fallback chain degrades to the baseline allocator from here).
+        best = Solution(
+            "failed",
+            math.inf,
+            np.zeros(model.num_vars),
+            0.0,
+            time.perf_counter() - start,
+            0,
+            math.inf,
+        )
+    return best, winner, counters

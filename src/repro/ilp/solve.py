@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import optimize, sparse
@@ -31,7 +31,7 @@ from repro.trace import ensure
 
 @dataclass
 class SolveOptions:
-    engine: str = "highs"  # 'highs' | 'bnb'
+    engine: str = "highs"  # 'highs' | 'bnb' | 'portfolio'
     time_limit: float | None = 600.0
     gap: float = 1e-4  # CPLEX-style relative MIP gap (paper: 0.01%)
     node_limit: int = 200_000
@@ -39,6 +39,17 @@ class SolveOptions:
     #: even when no tracer is active (the ``bnb`` engine gets it for free
     #: from its first node; ``highs`` needs the extra solve).
     root_relaxation: bool = False
+    #: Warm-start hint store (``engine="portfolio"``): directory of prior
+    #: solutions and the key of the nearest prior model (the compile
+    #: daemon uses the front-end fingerprint, so allocator-knob-only
+    #: variants share one incumbent).  Runtime plumbing, not part of the
+    #: problem statement — excluded from cache fingerprints.
+    hint_dir: str | None = field(
+        default=None, metadata={"fingerprint": False}
+    )
+    hint_key: str | None = field(
+        default=None, metadata={"fingerprint": False}
+    )
 
 
 def solve_root_relaxation(model: Model) -> tuple[float, float, np.ndarray]:
@@ -101,6 +112,10 @@ def solve_model(
     tracer = ensure(tracer)
     if model.num_vars == 0:
         return Solution("optimal", 0.0, np.zeros(0), 0.0, 0.0)
+    if options.engine == "portfolio":
+        from repro.ilp.portfolio import solve_portfolio
+
+        return solve_portfolio(model, options, tracer)
     with tracer.span("solve", engine=options.engine) as sp:
         if options.engine == "bnb":
             solution = _solve_bnb(model, options)
@@ -126,7 +141,20 @@ def solve_model(
 _MILP_STATUS = {2: "infeasible", 3: "unbounded", 4: "failed"}
 
 
-def _solve_highs(model: Model, options: SolveOptions, tracer) -> Solution:
+def _solve_highs(
+    model: Model,
+    options: SolveOptions,
+    tracer,
+    upper_bound: float | None = None,
+) -> Solution:
+    """HiGHS branch & cut via :func:`scipy.optimize.milp`.
+
+    ``upper_bound`` is a warm-start hint: the objective value of a known
+    feasible solution.  Minimization means any optimal point satisfies
+    ``c @ x <= upper_bound``, so the bound is added as one extra
+    constraint row — HiGHS prunes everything above it without being told
+    the incumbent itself (scipy exposes no warm-start API).
+    """
     c, matrix, lb, ub = model.standard_form()
     # milp does not report the root-relaxation time; measure it with a
     # dedicated LP solve only when the number will actually be read.
@@ -134,11 +162,14 @@ def _solve_highs(model: Model, options: SolveOptions, tracer) -> Solution:
     if tracer.enabled or options.root_relaxation:
         _, root_seconds, _ = _root_relaxation(c, matrix, lb, ub, model.num_vars)
     start = time.perf_counter()
-    constraints = (
-        optimize.LinearConstraint(matrix, lb, ub)
-        if len(model.constraints)
-        else ()
-    )
+    constraints = []
+    if len(model.constraints):
+        constraints.append(optimize.LinearConstraint(matrix, lb, ub))
+    if upper_bound is not None and math.isfinite(upper_bound):
+        bound_row = sparse.csr_matrix(c.reshape(1, -1))
+        constraints.append(
+            optimize.LinearConstraint(bound_row, -np.inf, upper_bound + 1e-6)
+        )
     milp_options = {"mip_rel_gap": options.gap}
     if options.time_limit is not None:
         milp_options["time_limit"] = options.time_limit
@@ -202,7 +233,12 @@ def _relative_gap(incumbent: float, bound: float) -> float:
     return (incumbent - bound) / max(1.0, abs(incumbent))
 
 
-def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
+def _solve_bnb(
+    model: Model,
+    options: SolveOptions,
+    incumbent: tuple[float, np.ndarray] | None = None,
+    cancel=None,
+) -> Solution:
     """Depth-first branch-and-bound with best-bound pruning.
 
     LP relaxations are solved by HiGHS ``linprog`` with variable fixings
@@ -213,6 +249,16 @@ def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
     the minimum over open nodes — so the search stops as soon as the
     incumbent is within ``options.gap`` of it (relative MIP gap), exactly
     like CPLEX's ``mipgap`` termination.
+
+    ``incumbent`` warm-starts the search with ``(objective, x)`` of a
+    known-feasible solution (the caller must have validated feasibility
+    against *this* model): the initial upper bound prunes from node one,
+    and when the root LP bound already proves the incumbent within the
+    gap the search terminates after a single LP solve.
+
+    ``cancel`` is an argumentless callable polled once per node; when it
+    returns true the search stops with status ``"cancelled"`` (the
+    portfolio uses it to stop the losing racer).
     """
     c, matrix, lb, ub = model.standard_form()
     a_ub, b_ub = _ub_matrix(matrix, lb, ub)
@@ -241,6 +287,9 @@ def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
 
     best_obj = math.inf
     best_x: np.ndarray | None = None
+    if incumbent is not None:
+        best_obj, warm_x = incumbent
+        best_x = np.asarray(warm_x, dtype=float)
     best_bound = -math.inf
     nodes = 0
     status = "optimal"
@@ -250,6 +299,9 @@ def _solve_bnb(model: Model, options: SolveOptions) -> Solution:
         (np.zeros(n), np.ones(n), -math.inf)
     ]
     while stack:
+        if cancel is not None and cancel():
+            status = "cancelled"
+            break
         # ``is not None``: a budget of 0.0 means "stop immediately", not
         # "run forever" (falsiness would drop the check entirely).
         if (

@@ -1240,6 +1240,7 @@ def run_sharded(
     jobs: int = 1,
     tracer=None,
     keep_packets: bool = False,
+    pool=None,
 ) -> ShardedResult:
     """Simulate ``chips`` independent chips and aggregate their results.
 
@@ -1274,6 +1275,7 @@ def run_sharded(
                 for chip in range(chips)
             ],
             jobs,
+            pool=pool,
         )
         results = []
         for result, spans in outcomes:

@@ -66,6 +66,24 @@ class Span:
         }
 
 
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a :class:`Span` from :meth:`Span.as_dict` output.
+
+    The inverse used when spans cross a process boundary as JSON (the
+    ``novac serve`` daemon ships per-request spans back to the client,
+    which adopts them into its local tracer for ``--trace``).  Depth is
+    not serialized; :meth:`Tracer.adopt` recomputes the presentation
+    shift, so rebuilt spans start at depth 0.
+    """
+    return Span(
+        data["name"],
+        start=float(data.get("start", 0.0)),
+        seconds=float(data.get("seconds", 0.0)),
+        parent=data.get("parent"),
+        counters=dict(data.get("counters") or {}),
+    )
+
+
 def log2_bound(value: float) -> int:
     """Smallest power of two >= ``value`` (1 for values <= 1).
 

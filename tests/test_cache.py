@@ -6,6 +6,7 @@ misses, never as crashes or stale artifacts.
 """
 
 import pickle
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -81,6 +82,76 @@ def test_fingerprint_is_deterministic():
     assert cache_key(SOURCE, CompileOptions()) == cache_key(
         SOURCE, CompileOptions()
     )
+
+
+def test_unfingerprintable_option_raises_naming_the_field():
+    # The old fallback hashed repr(value), which for arbitrary objects
+    # embeds a memory address — two identical option trees fingerprinted
+    # differently run-to-run, silently turning every lookup into a miss.
+    # Non-plain data must be a loud error naming the offending field.
+    options = CompileOptions()
+    options.alloc.solve.node_limit = object()
+    with pytest.raises(TypeError, match=r"options\.alloc\.solve\.node_limit"):
+        options_fingerprint(options)
+    with pytest.raises(TypeError, match="object"):
+        cache_key(SOURCE, options)
+
+
+def test_hint_fields_are_fingerprint_excluded():
+    # hint_dir/hint_key are runtime plumbing for the solver portfolio,
+    # not part of the problem statement: the daemon sets them on every
+    # request and cached artifacts must still hit.
+    plain = CompileOptions()
+    hinted = CompileOptions()
+    hinted.alloc.solve.hint_dir = "/anywhere/hints"
+    hinted.alloc.solve.hint_key = "ab" * 32
+    assert options_fingerprint(plain) == options_fingerprint(hinted)
+    assert cache_key(SOURCE, plain) == cache_key(SOURCE, hinted)
+
+
+def _race_writer(root, source, comp, rounds):
+    cache = CompileCache(root)
+    for _ in range(rounds):
+        cache.put(source, None, comp)
+    return cache.stats.as_dict()
+
+
+def _race_reader(root, source, rounds):
+    cache = CompileCache(root)
+    seen = 0
+    for _ in range(rounds):
+        if cache.get(source, None) is not None:
+            seen += 1
+    return seen, cache.stats.invalidations
+
+
+def test_concurrent_put_never_exposes_a_torn_entry(tmp_path):
+    # Two processes hammer put() on the same key while two more read it
+    # back.  put() writes to a temp file and os.replace()s into place,
+    # so a reader must always see either the old or the new complete
+    # artifact — a torn read would unpickle garbage and count an
+    # invalidation.
+    root = str(tmp_path / "cache")
+    options = CompileOptions()
+    options.run_allocator = False  # virtual-only: small + fast artifact
+    comp = compile_nova(SOURCE, options=options).slim()
+    CompileCache(root).put(SOURCE, None, comp)  # entry exists up front
+    rounds = 60
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        writers = [
+            pool.submit(_race_writer, root, SOURCE, comp, rounds)
+            for _ in range(2)
+        ]
+        readers = [
+            pool.submit(_race_reader, root, SOURCE, rounds)
+            for _ in range(2)
+        ]
+        for writer in writers:
+            assert writer.result()["writes"] == rounds
+        for reader in readers:
+            seen, invalidations = reader.result()
+            assert seen == rounds  # never a miss once the entry exists
+            assert invalidations == 0  # never a torn/corrupt read
 
 
 def test_corrupt_entry_is_a_miss_not_a_crash(cache):

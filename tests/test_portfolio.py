@@ -1,0 +1,193 @@
+"""Solver portfolio (`repro.ilp.portfolio`): the race and warm starts."""
+
+import json
+
+import pytest
+
+from repro.cache import frontend_fingerprint
+from repro.compiler import CompileOptions, compile_nova
+from repro.ilp.model import Model
+from repro.ilp.portfolio import (
+    HINT_FORMAT,
+    HintStore,
+    hint_incumbent,
+    solve_portfolio,
+)
+from repro.ilp.solve import SolveOptions, solve_model
+from repro.trace import Tracer
+
+
+def knapsack(values, weights, capacity):
+    m = Model("knapsack")
+    x = m.family("x")
+    m.add({x[(i,)]: w for i, w in enumerate(weights)}, "<=", capacity)
+    m.minimize({x[(i,)]: -v for i, v in enumerate(values)})
+    return m
+
+
+def assignment_model(n=4):
+    """n×n one-to-one assignment; unique optimum on distinct costs."""
+    m = Model("assign")
+    x = m.family("x")
+    for i in range(n):
+        m.add_sum_eq([x[(i, j)] for j in range(n)], 1)
+    for j in range(n):
+        m.add_sum_eq([x[(i, j)] for i in range(n)], 1)
+    m.minimize({x[(i, j)]: (i * n + j) % 7 + 1 for i in range(n) for j in range(n)})
+    return m
+
+
+class TestRace:
+    def test_portfolio_matches_single_engine_objective(self):
+        for build in (lambda: knapsack([6, 5, 4], [3, 2, 1], 4),
+                      assignment_model):
+            reference = solve_model(build(), SolveOptions(engine="highs"))
+            raced = solve_model(build(), SolveOptions(engine="portfolio"))
+            assert raced.status == "optimal"
+            assert raced.objective == pytest.approx(reference.objective)
+
+    def test_solve_span_records_the_winner(self):
+        tracer = Tracer()
+        solve_portfolio(assignment_model(), SolveOptions(), tracer)
+        span = tracer.get("solve")
+        assert span.counters["engine"] == "portfolio"
+        assert span.counters["winner"] in ("highs", "bnb")
+        assert span.counters["status"] == "optimal"
+        race = tracer.get("portfolio.race")
+        assert race is not None and race.counters["warm"] == 0
+        # The winning engine reported a status and a time.
+        winner = span.counters["winner"]
+        assert race.counters[f"{winner}_status"] == "optimal"
+        assert race.counters[f"{winner}_seconds"] >= 0
+
+    @pytest.mark.parametrize("cores", [1, 8])
+    def test_both_race_modes_reach_the_optimum(self, cores, monkeypatch):
+        # The portfolio is core-adaptive: a concurrent thread race on
+        # multi-core hosts, engines in sequence on a single CPU.  Both
+        # paths must land on the same optimum.
+        import repro.ilp.portfolio as portfolio_mod
+
+        monkeypatch.setattr(portfolio_mod, "effective_cores", lambda: cores)
+        reference = solve_model(assignment_model(), SolveOptions())
+        tracer = Tracer()
+        raced = solve_portfolio(assignment_model(), SolveOptions(), tracer)
+        assert raced.status == "optimal"
+        assert raced.objective == pytest.approx(reference.objective)
+        race = tracer.get("portfolio.race")
+        if cores == 1:
+            assert race.counters["mode"] == "sequential"
+            # A decisive first engine means the second never ran.
+            assert "skipped" in race.counters.values() or all(
+                race.counters.get(f"{e}_status") != "skipped"
+                for e in ("highs", "bnb")
+            )
+        else:
+            assert "mode" not in race.counters  # the concurrent race
+
+    def test_infeasible_is_decisive(self):
+        m = Model("infeasible")
+        x = m.family("x")[(0,)]
+        m.add({x: 1.0}, ">=", 2)  # binary var can't reach 2
+        m.minimize({x: 1.0})
+        solution = solve_portfolio(m, SolveOptions())
+        assert solution.status == "infeasible"
+
+
+class TestHints:
+    def test_store_roundtrip_and_seeded_warm_start(self, tmp_path):
+        build = assignment_model
+        store_dir = tmp_path / "hints"
+        cold_opts = SolveOptions(
+            engine="portfolio", hint_dir=str(store_dir), hint_key="ab" * 32
+        )
+        tracer = Tracer()
+        cold = solve_portfolio(build(), cold_opts, tracer)
+        assert tracer.get("portfolio.warm_start").counters["outcome"] == "none"
+        assert HintStore(store_dir).load("ab" * 32) is not None
+
+        warm_tracer = Tracer()
+        warm = solve_portfolio(build(), cold_opts, warm_tracer)
+        ws = warm_tracer.get("portfolio.warm_start")
+        assert ws.counters["outcome"] == "seeded"
+        assert ws.counters["incumbent"] == pytest.approx(cold.objective)
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm_tracer.get("portfolio.race").counters["warm"] == 1
+
+    def test_incumbent_maps_by_name_and_validates(self):
+        m = assignment_model()
+        reference = solve_model(m, SolveOptions(engine="highs"))
+        store_hint = {
+            "format": HINT_FORMAT,
+            "objective": float(reference.objective),
+            "status": "optimal",
+            "ones": [
+                m.name_of(v)
+                for v in range(m.num_vars)
+                if reference.values[v] > 0.5
+            ],
+        }
+        warm = hint_incumbent(m, store_hint)
+        assert warm is not None
+        assert warm[0] == pytest.approx(reference.objective)
+        # Unknown names are dropped; the truncated point then violates
+        # the assignment rows and the hint is rejected, not mis-seeded.
+        stale = dict(store_hint, ones=["x[99,99]"] + store_hint["ones"][1:])
+        assert hint_incumbent(m, stale) is None
+
+    def test_tampered_hint_file_reads_as_no_hint(self, tmp_path):
+        store = HintStore(tmp_path)
+        key = "cd" * 32
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("not json {")
+        assert store.load(key) is None
+        assert not path.exists()  # corrupt entry deleted
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"format": HINT_FORMAT + 1, "ones": []}))
+        assert store.load(key) is None  # wrong format version
+
+    def test_bnb_accepts_a_seeded_incumbent(self):
+        from repro.ilp.solve import _solve_bnb
+
+        m = assignment_model()
+        reference = solve_model(m, SolveOptions(engine="highs"))
+        warm = hint_incumbent(
+            m,
+            {
+                "format": HINT_FORMAT,
+                "objective": float(reference.objective),
+                "status": "optimal",
+                "ones": [
+                    m.name_of(v)
+                    for v in range(m.num_vars)
+                    if reference.values[v] > 0.5
+                ],
+            },
+        )
+        solution = _solve_bnb(m, SolveOptions(engine="bnb"), incumbent=warm)
+        assert solution.status == "optimal"
+        assert solution.objective == pytest.approx(reference.objective)
+
+
+SOURCE = """
+layout h = { a : 8, b : 24 };
+fun main (x) {
+  let u = unpack[h](x);
+  u.a + u.b
+}
+"""
+
+
+class TestEndToEnd:
+    def test_compile_with_portfolio_engine(self, tmp_path):
+        options = CompileOptions()
+        options.alloc.solve.engine = "portfolio"
+        options.alloc.solve.hint_dir = str(tmp_path / "hints")
+        options.alloc.solve.hint_key = "ef" * 32
+        comp = compile_nova(SOURCE, options=options)
+        assert comp.alloc.status == "optimal"
+        # A second compile under different allocator knobs still shares
+        # the incumbent: the key is the *front-end* fingerprint.
+        variant = CompileOptions()
+        variant.alloc.solve.gap = 1e-3
+        assert frontend_fingerprint(options) == frontend_fingerprint(variant)

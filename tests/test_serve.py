@@ -1,0 +1,237 @@
+"""The compile daemon (`repro.serve`), client, and wire protocol."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import cli
+from repro.client import ServeClient, ServeError, parse_endpoint, try_connect
+from repro.compiler import CompileOptions, compile_nova
+from repro.proto import ProtocolError, options_from_wire, options_to_wire
+from repro.serve import CompileServer, ServeConfig
+
+GOOD = """
+layout h = { a : 8, b : 24 };
+fun main (x) {
+  let u = unpack[h](x);
+  u.a + u.b
+}
+"""
+
+GOOD2 = """
+fun main (x, y) {
+  x * 3 + y
+}
+"""
+
+BAD_TYPE = "fun main (x) { y }"  # unbound variable
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ServeConfig(
+        socket=str(tmp_path / "d.sock"),
+        cache_dir=str(tmp_path / "cache"),
+        jobs=1,
+        hot_entries=4,
+    )
+    daemon = CompileServer(config)
+    thread = threading.Thread(
+        target=lambda: asyncio.run(daemon.run()), daemon=True
+    )
+    thread.start()
+    client = None
+    for _ in range(200):
+        client = try_connect(config.socket, timeout=1.0)
+        if client is not None:
+            break
+        time.sleep(0.05)
+    assert client is not None, "daemon never came up"
+    client.close()
+    yield config
+    leftover = try_connect(config.socket, timeout=1.0)
+    if leftover is not None:
+        try:
+            leftover.shutdown()
+        except ServeError:
+            pass
+        leftover.close()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+class TestProtocol:
+    def test_options_round_trip(self):
+        options = CompileOptions()
+        options.run_allocator = False
+        options.alloc.two_phase = True
+        options.alloc.solve.gap = 1e-2
+        wire = options_to_wire(options)
+        # Sparse: only the three knobs that differ from the defaults.
+        assert wire == {
+            "run_allocator": False,
+            "alloc": {"two_phase": True, "solve": {"gap": 1e-2}},
+        }
+        rebuilt = options_from_wire(wire)
+        assert rebuilt.run_allocator is False
+        assert rebuilt.alloc.two_phase is True
+        assert rebuilt.alloc.solve.gap == 1e-2
+        assert options_to_wire(CompileOptions()) == {}
+
+    def test_unknown_and_server_only_keys_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown option"):
+            options_from_wire({"no_such_knob": 1})
+        with pytest.raises(ProtocolError, match="server-side only"):
+            options_from_wire({"alloc": {"solve": {"hint_dir": "/x"}}})
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("/tmp/d.sock") == ("unix", "/tmp/d.sock")
+        assert parse_endpoint("d.sock") == ("unix", "d.sock")
+        assert parse_endpoint("127.0.0.1:9000") == ("tcp", ("127.0.0.1", 9000))
+        assert parse_endpoint("tcp:localhost:9000") == (
+            "tcp", ("localhost", 9000)
+        )
+
+
+class TestCompileTiers:
+    def test_miss_then_hot_and_payload_matches_local(self, server):
+        local = compile_nova(GOOD)
+        with ServeClient.connect(server.socket) as client:
+            first = client.compile_source(GOOD, trace=True)
+            second = client.compile_source(GOOD)
+            assert first["cache"] == "miss"
+            assert second["cache"] == "hot"
+            # The portfolio may land on a different (equally optimal)
+            # assignment than a local highs solve, so compare shape, and
+            # require the hot tier to replay the miss byte-identically.
+            assert first["payload"] == second["payload"]
+            assert "halt" in first["payload"]
+            assert (
+                first["summary"]["instructions"]
+                == local.flowgraph.num_instructions()
+            )
+            assert first["summary"]["alloc"]["status"] == "optimal"
+            # The daemon narrates itself: per-request server metrics and
+            # a serve.request span alongside the compile-phase spans.
+            assert second["server"]["hits"] == 1
+            names = [sp["name"] for sp in first["spans"]]
+            assert "serve.request" in names and "allocate" in names
+
+    def test_disk_tier_survives_hot_eviction(self, server):
+        with ServeClient.connect(server.socket) as client:
+            client.compile_source(GOOD)
+            # Evict GOOD from the 4-entry hot LRU with distinct sources.
+            for i in range(server.hot_entries + 1):
+                client.compile_source(GOOD2 + f"// v{i}\n")
+            again = client.compile_source(GOOD)
+            assert again["cache"] == "hit"  # disk, not recompiled
+
+    def test_structured_error_and_connection_reuse(self, server):
+        with ServeClient.connect(server.socket) as client:
+            body = client.compile_source(BAD_TYPE, raw=True)
+            assert body["ok"] is False
+            assert body["error"]["kind"] == "TypeError_"
+            assert "unbound" in body["error"]["message"]
+            # Same connection keeps working after a failed unit.
+            assert client.compile_source(GOOD)["ok"] is True
+
+    def test_cache_miss_defaults_to_portfolio_with_hints(self, server, tmp_path):
+        with ServeClient.connect(server.socket) as client:
+            client.compile_source(GOOD)
+        hints = list((tmp_path / "cache" / "hints").rglob("*.json"))
+        assert hints, "portfolio solve should have recorded a hint"
+
+    def test_batch_mixes_outcomes(self, server):
+        with ServeClient.connect(server.socket) as client:
+            response = client.batch(
+                [("a.nova", GOOD), ("bad.nova", BAD_TYPE), ("c.nova", GOOD2)]
+            )
+        assert response["summary"]["ok"] == 2
+        assert response["summary"]["failed"] == 1
+        kinds = [u.get("error", {}).get("kind") for u in response["units"]]
+        assert kinds == [None, "TypeError_", None]
+
+
+class TestOperations:
+    def test_stats_shape(self, server):
+        with ServeClient.connect(server.socket) as client:
+            client.compile_source(GOOD)
+            client.compile_source(GOOD)
+            stats = client.stats()
+        assert stats["cache"]["writes"] == 1
+        assert stats["jobs"] == 1
+        assert stats["hot_entries"] == 1
+        assert stats["clients"]["requests"] == 2
+        assert stats["clients"]["hits"] == 1
+        assert stats["clients"]["p50_ms"] > 0
+        assert isinstance(stats["workers"], list)
+
+    def test_worker_crash_is_survivable(self, server):
+        with ServeClient.connect(server.socket) as client:
+            crashed = client.crash_worker()
+            assert crashed["ok"] is False
+            assert crashed["error"]["kind"] == "WorkerCrash"
+            # The very next compile runs on a rebuilt pool.
+            assert client.compile_source(GOOD)["ok"] is True
+            assert client.stats()["pool_restarts"] == 1
+
+    def test_drain_shutdown_finishes_inflight_compiles(self, server):
+        done = {}
+
+        def compile_slow():
+            with ServeClient.connect(server.socket) as client:
+                done["body"] = client.compile_source(GOOD2, raw=True)
+
+        worker = threading.Thread(target=compile_slow)
+        with ServeClient.connect(server.socket) as client:
+            worker.start()
+            time.sleep(0.05)  # let the compile land in flight
+            response = client.shutdown()
+            assert response["drained"] is True
+        worker.join(timeout=30)
+        # The in-flight compile completed (ok) rather than being cut off;
+        # it only gets refused if it arrived after draining began.
+        body = done["body"]
+        assert body["ok"] or body["error"]["kind"] == "Draining"
+        assert try_connect(server.socket, timeout=1.0) is None
+
+
+class TestClientFallback:
+    def test_try_connect_none_without_daemon(self, tmp_path):
+        assert try_connect(str(tmp_path / "nothing.sock"), timeout=0.5) is None
+
+    def test_cli_falls_back_in_process(self, tmp_path, capsys):
+        source = tmp_path / "p.nova"
+        source.write_text(GOOD)
+        code = cli.main(
+            ["--connect", str(tmp_path / "nothing.sock"), str(source)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "compiling in-process" in captured.err
+        assert captured.out == compile_nova(GOOD).physical.pretty()
+
+    def test_cli_compiles_via_daemon(self, server, tmp_path, capsys):
+        source = tmp_path / "p.nova"
+        source.write_text(GOOD)
+        code = cli.main(["--connect", server.socket, str(source)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "in-process" not in captured.err
+        assert captured.out.startswith("entry:") and "halt" in captured.out
+        # A second invocation is served from the hot tier, byte-identical.
+        assert cli.main(["--connect", server.socket, str(source)]) == 0
+        assert capsys.readouterr().out == captured.out
+
+    def test_cli_remote_batch(self, server, tmp_path, capsys):
+        good = tmp_path / "good.nova"
+        good.write_text(GOOD)
+        bad = tmp_path / "bad.nova"
+        bad.write_text(BAD_TYPE)
+        code = cli.main(["--connect", server.socket, str(good), str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1  # one unit failed, like local batch mode
+        assert "cache 0 hits / 2 misses" in captured.out
+        assert "TypeError" in captured.out
