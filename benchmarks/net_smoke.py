@@ -29,7 +29,11 @@ Checks (all on *simulated* cycles, so they are machine-independent):
 - a **net-fuzz spot check**: a ten-scenario ``repro.fuzz.netgen``
   campaign (random program x traffic x topology, all metamorphic
   invariants) plus the three config-validation regression probes must
-  come back clean.
+  come back clean;
+- a **corpus spot check**: ``repro.fuzz.inject.corpus_probe`` must
+  show the coverage-guided mutation loop catching the broken-steering
+  injection from a near-miss corpus entry (with a <= 10 event shrunk
+  witness) while fresh sampling at the same budget stays blind.
 """
 
 import json
@@ -103,6 +107,33 @@ def live_netfuzz_smoke(failures: list) -> None:
         )
 
 
+def live_corpus_smoke(failures: list) -> None:
+    """The corpus mutation loop must out-hunt fresh sampling."""
+    from repro.fuzz.inject import corpus_probe
+
+    outcome = corpus_probe()
+    print(
+        f"live corpus probe: corpus_found_in={outcome['corpus_found_in']} "
+        f"fresh_found_in={outcome['fresh_found_in']} "
+        f"mutation={outcome['mutation']} "
+        f"witness_events={outcome['witness_events']}"
+    )
+    if outcome["corpus_found_in"] is None:
+        failures.append(
+            "corpus probe: mutation loop missed broken_steering"
+        )
+    elif outcome["witness_events"] > 10:
+        failures.append(
+            f"corpus probe: witness has {outcome['witness_events']} "
+            "events (want <= 10)"
+        )
+    if outcome["fresh_found_in"] is not None:
+        failures.append(
+            "corpus probe: fresh window is no longer blind — repin "
+            "fresh_start in repro.fuzz.inject.corpus_probe"
+        )
+
+
 def main() -> int:
     if not BENCH_FILE.exists():
         print(f"net_smoke: {BENCH_FILE} missing — run "
@@ -161,6 +192,7 @@ def main() -> int:
         )
     live_chip_smoke(failures)
     live_netfuzz_smoke(failures)
+    live_corpus_smoke(failures)
     for failure in failures:
         print(f"net_smoke: FAIL {failure}", file=sys.stderr)
     if not failures:

@@ -25,9 +25,23 @@ statistically instead of anecdotally:
   runtime behind ``novac fuzz --net``: random (program, traffic,
   topology) triples checked against the netmeta invariants plus trace
   replay fidelity and latency monotonicity, shrunk over both the
-  program and the traffic trace.
+  program and the traffic trace;
+- :mod:`repro.fuzz.corpus` — a persistent coverage-guided corpus for
+  the net fuzzer: scenarios whose runtime-counter signature reaches an
+  uncovered bucket are retained, mutated (trace splice / duplicate /
+  reorder, gap jitter, flow retokening, topology swap) and fed back
+  into later campaigns via ``--corpus-dir``.
 """
 
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    CorpusStore,
+    entry_from_scenario,
+    mutate_entry,
+    mutate_trace,
+    trace_problems,
+    verify_entry,
+)
 from repro.fuzz.gen import GenConfig, GenProgram, generate
 from repro.fuzz.netgen import (
     NetGenConfig,
@@ -52,6 +66,8 @@ from repro.fuzz.oracle import (
 from repro.fuzz.shrink import shrink, shrink_list
 
 __all__ = [
+    "CorpusEntry",
+    "CorpusStore",
     "Divergence",
     "FuzzConfig",
     "GenConfig",
@@ -67,11 +83,16 @@ __all__ = [
     "check_scenario",
     "check_steering",
     "default_configs",
+    "entry_from_scenario",
     "gen_scenario",
     "generate",
+    "mutate_entry",
+    "mutate_trace",
     "run_net_campaign",
     "shrink",
     "shrink_list",
     "shrink_scenario",
+    "trace_problems",
     "trace_violations",
+    "verify_entry",
 ]

@@ -98,6 +98,132 @@ def broken_steering():
         NetRuntime._steer = original
 
 
+def corpus_probe(
+    budget: int = 12,
+    probe_seed: int = 34,
+    fresh_start: int = 1104,
+    corpus_dir=None,
+) -> dict:
+    """Prove the corpus mutation loop out-hunts fresh sampling.
+
+    Seeds a corpus with a *near-miss* scenario for
+    :func:`broken_steering`: an aligned trace in which every flow token
+    sticks to one ``seq % engines`` residue class, so even the broken
+    dispatcher (steer by raw sequence number) happens to preserve flow
+    affinity and the entry looks healthy.  Then, with the bug injected,
+    the real mutation engine (:func:`repro.fuzz.corpus.mutate_entry`)
+    attacks the entry for ``budget`` scenarios while fresh generator
+    sampling gets the same budget over the pinned ``fresh_start``
+    window.  ``splice``/``duplicate``/``reorder`` shift a flow's later
+    occurrences to a different residue class and ``retoken`` merges two
+    pinned flows, so a mutant exposes the bug within a few attempts;
+    the fresh window is chosen (and pinned by the test suite) so that
+    no fresh scenario does.  The winning mutant's trace is ddmin-shrunk
+    to a small witness.
+
+    Returns ``{"corpus_found_in", "fresh_found_in", "mutation",
+    "witness_events", "witness"}``; ``corpus_dir`` additionally
+    persists the near-miss entry through a real
+    :class:`~repro.fuzz.corpus.CorpusStore`.
+    """
+    import random
+    from dataclasses import replace
+
+    from repro.fuzz.corpus import entry_from_scenario, mutate_entry
+    from repro.fuzz.netgen import (
+        ScenarioInvalid,
+        build_scenario_app,
+        gen_scenario,
+    )
+    from repro.fuzz.netmeta import check_result
+    from repro.fuzz.shrink import shrink_list
+    from repro.ixp.net import TraceEvent, coverage_signature, run_stream
+
+    scenario = gen_scenario(probe_seed)
+    config = scenario.config
+    engines = config.engines
+    flows = sorted(set(scenario.flows))[:engines]
+    if config.steer != "flow" or engines < 2 or len(flows) < engines:
+        raise ValueError(
+            f"probe seed {probe_seed} cannot express the near miss"
+        )
+    app = build_scenario_app(scenario)
+    extras = tuple(3 for _ in scenario.program.params[1:])
+    aligned = tuple(
+        TraceEvent(
+            gap=16,
+            flow=flows[i % engines],
+            payload=(flows[i % engines],) + extras,
+            payload_bytes=4 * (1 + len(extras)),
+        )
+        for i in range(3 * engines)
+    )
+
+    def affinity_broken(events, cfg=config) -> bool:
+        try:
+            result = run_stream(app, replace(cfg, trace=tuple(events)))
+        except Exception:
+            return False
+        return any(
+            "split across engines" in v
+            for v in check_result(result, expect_no_drops=False)
+        )
+
+    recorded = run_stream(app, replace(config, trace=aligned))
+    entry = entry_from_scenario(
+        scenario, aligned, coverage_signature(recorded), origin="probe"
+    )
+    if corpus_dir is not None:
+        from repro.fuzz.corpus import CorpusStore
+
+        CorpusStore(corpus_dir).add(entry)
+
+    rng = random.Random(f"corpus-probe-{probe_seed}")
+    outcome = {
+        "corpus_found_in": None,
+        "fresh_found_in": None,
+        "mutation": None,
+        "witness_events": None,
+        "witness": None,
+    }
+    with broken_steering():
+        if affinity_broken(aligned):
+            raise AssertionError(
+                "near-miss trace already trips the injected bug"
+            )
+        found = None
+        for attempt in range(1, budget + 1):
+            op, trace, cfg = mutate_entry(rng, entry)
+            if affinity_broken(trace, cfg):
+                found = (attempt, op, trace, cfg)
+                break
+        for offset in range(budget):
+            fresh = gen_scenario(fresh_start + offset)
+            try:
+                fresh_app = build_scenario_app(fresh)
+            except ScenarioInvalid:
+                continue
+            result = run_stream(fresh_app, fresh.config)
+            if any(
+                "split across engines" in v
+                for v in check_result(result, expect_no_drops=False)
+            ):
+                outcome["fresh_found_in"] = offset + 1
+                break
+        if found is not None:
+            attempt, op, trace, cfg = found
+            events, _ = shrink_list(
+                list(trace), lambda evs: affinity_broken(evs, cfg)
+            )
+            outcome.update(
+                corpus_found_in=attempt,
+                mutation=op,
+                witness_events=len(events),
+                witness=tuple(events),
+            )
+    return outcome
+
+
 @contextmanager
 def disabled_constant_fold():
     """Turn constant folding off entirely (a *benign* injection).

@@ -41,7 +41,12 @@ persisted as a ``(program, trace, topology)`` witness artifact.
 ``novac fuzz --net`` runs campaigns of these scenarios over the
 :mod:`repro.batch` pool; the campaign also replays the three
 config-validation regressions (arrival typo, non-positive/oversize
-rings, chip-seed aliasing) as live probes before fuzzing.
+rings, chip-seed aliasing) as live probes before fuzzing.  With
+``--corpus-dir`` the campaign is coverage-guided: clean runs whose
+:func:`~repro.ixp.net.coverage_signature` reaches an uncovered counter
+bucket are persisted by :mod:`repro.fuzz.corpus`, and a
+``--mutate-ratio`` fraction of later slots replays mutated corpus
+entries instead of fresh generator scenarios.
 """
 
 from __future__ import annotations
@@ -70,7 +75,12 @@ from repro.ixp.net import (
     TraceEvent,
     chip_seed,
     capture_trace,
+    config_from_dict,
+    config_to_dict,
+    coverage_signature,
     run_stream,
+    trace_from_json,
+    trace_to_json,
 )
 from repro.trace import Tracer, ensure
 
@@ -358,6 +368,9 @@ class ScenarioReport:
     violations: list[str] = field(default_factory=list)
     trace: tuple[TraceEvent, ...] | None = None
     invalid: str | None = None
+    #: :func:`repro.ixp.net.coverage_signature` of the seeded run —
+    #: the corpus layer's retention signal.
+    signature: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -374,6 +387,7 @@ def check_scenario(
     except ScenarioInvalid as exc:
         return ScenarioReport(seed=scenario.seed, invalid=str(exc))
     report = ScenarioReport(seed=scenario.seed)
+    report.signature = coverage_signature(seeded)
     report.violations.extend(
         f"[seeded] {v}"
         for v in check_result(seeded, expect_no_drops=False)
@@ -474,27 +488,6 @@ def shrink_scenario(
     return minimized_source, minimized_trace, stats
 
 
-def trace_to_json(trace: tuple[TraceEvent, ...]) -> list:
-    """A trace as plain JSON rows ``[gap, flow, payload, bytes]``."""
-    return [
-        [event.gap, event.flow, list(event.payload), event.payload_bytes]
-        for event in trace
-    ]
-
-
-def trace_from_json(rows: list) -> tuple[TraceEvent, ...]:
-    """Inverse of :func:`trace_to_json`."""
-    return tuple(
-        TraceEvent(
-            gap=gap,
-            flow=flow,
-            payload=tuple(payload),
-            payload_bytes=payload_bytes,
-        )
-        for gap, flow, payload, payload_bytes in rows
-    )
-
-
 @dataclass
 class NetArtifact:
     """On-disk witness for one net finding."""
@@ -516,7 +509,6 @@ def write_net_artifact(
     shrink_stats: dict | None = None,
 ) -> NetArtifact:
     """Persist a ``(program, trace, topology)`` witness directory."""
-    from dataclasses import asdict
     from pathlib import Path
 
     path = Path(directory)
@@ -536,9 +528,7 @@ def write_net_artifact(
         minimized_trace_path.write_text(
             json.dumps(trace_to_json(minimized_trace)) + "\n"
         )
-    topology = {
-        k: v for k, v in asdict(scenario.config).items() if k != "trace"
-    }
+    topology = config_to_dict(scenario.config)
     payload = {
         "seed": scenario.seed,
         "flows": list(scenario.flows),
@@ -600,13 +590,21 @@ def validation_probes() -> list[str]:
 
 @dataclass
 class NetUnit:
-    """Verdict for one scenario seed."""
+    """Verdict for one scenario slot (fresh seed or corpus mutant)."""
 
     seed: int
     ok: bool
     seconds: float
     violations: list = field(default_factory=list)
     invalid: str | None = None
+    #: provenance: ``fresh`` or ``mutant:<op>``.
+    origin: str = "fresh"
+    #: parent corpus entry id (mutants only).
+    parent: str | None = None
+    #: coverage signature of the seeded run (corpus retention signal).
+    signature: tuple = ()
+    #: captured trace as JSON rows, shipped back for corpus intake.
+    trace_rows: list | None = None
 
 
 @dataclass
@@ -616,6 +614,8 @@ class NetFuzzResult:
     jobs: int
     artifacts: list = field(default_factory=list)
     probe_failures: list = field(default_factory=list)
+    #: corpus accounting when the campaign ran with ``corpus_dir``.
+    corpus: dict | None = None
 
     @property
     def failed(self) -> list[NetUnit]:
@@ -626,27 +626,64 @@ class NetFuzzResult:
         return [u for u in self.units if u.invalid is not None]
 
     def summary(self) -> dict:
-        return {
+        out = {
             "scenarios": len(self.units),
             "ok": sum(1 for u in self.units if u.ok),
             "violating": len(self.failed) - len(self.invalid),
             "invalid": len(self.invalid),
+            "mutants": sum(
+                1 for u in self.units if u.origin.startswith("mutant")
+            ),
             "probe_failures": len(self.probe_failures),
             "jobs": self.jobs,
             "seconds": round(self.seconds, 3),
         }
+        if self.corpus is not None:
+            out["corpus"] = dict(self.corpus)
+        return out
+
+
+def _scenario_from_task(task: dict, gen_config: NetGenConfig) -> NetScenario:
+    """Rebuild the scenario a campaign task describes.
+
+    ``fresh`` tasks re-derive everything from the seed (nothing but the
+    int crosses the process boundary); ``mutant`` tasks carry the
+    corpus entry's stored program plus the mutated trace/topology as
+    plain JSON rows, and their scenario config replays that trace.
+    """
+    if task["kind"] == "fresh":
+        return gen_scenario(task["seed"], gen_config)
+    from repro.fuzz.corpus import StoredProgram
+
+    config = replace(
+        config_from_dict(task["topology"]),
+        trace=trace_from_json(task["trace"]),
+    )
+    return NetScenario(
+        seed=task["seed"],
+        program=StoredProgram(
+            seed=task["seed"],
+            source=task["source"],
+            params=tuple(task["params"]),
+        ),
+        config=config,
+        flows=tuple(task["flows"]),
+    )
 
 
 def _net_unit(
-    seed: int, gen_config: NetGenConfig, trace: bool
+    task: dict, gen_config: NetGenConfig, trace: bool
 ) -> tuple[NetUnit, list]:
-    """One scenario: generate, check, report.  Runs in pool workers."""
+    """One scenario: rebuild, check, report.  Runs in pool workers."""
     tracer = Tracer() if trace else None
     span_source = ensure(tracer)
     start = time.perf_counter()
-    with span_source.span("netfuzz.unit", seed=seed) as sp:
-        scenario = gen_scenario(seed, gen_config)
+    seed = task["seed"]
+    origin = task.get("origin", "fresh")
+    parent = task.get("parent")
+    with span_source.span("netfuzz.unit", seed=seed, origin=origin) as sp:
         try:
+            scenario = _scenario_from_task(task, gen_config)
             report = check_scenario(scenario)
         except Exception as exc:  # an internal crash is a finding too
             unit = NetUnit(
@@ -656,6 +693,8 @@ def _net_unit(
                 violations=[
                     f"internal error: {type(exc).__name__}: {exc}"
                 ],
+                origin=origin,
+                parent=parent,
             )
             if sp:
                 sp.add(outcome="internal-error")
@@ -666,6 +705,14 @@ def _net_unit(
             seconds=time.perf_counter() - start,
             violations=list(report.violations),
             invalid=report.invalid,
+            origin=origin,
+            parent=parent,
+            signature=tuple(report.signature),
+            trace_rows=(
+                trace_to_json(report.trace)
+                if report.trace is not None
+                else None
+            ),
         )
         if sp:
             sp.add(outcome="ok" if report.ok else "violating")
@@ -682,6 +729,8 @@ def run_net_campaign(
     shrink_budget: int = 160,
     shrink_findings: bool = True,
     pool=None,
+    corpus_dir=None,
+    mutate_ratio: float = 0.5,
 ) -> NetFuzzResult:
     """Fuzz ``count`` streaming scenarios from ``seed`` upward.
 
@@ -693,18 +742,56 @@ def run_net_campaign(
     run first and are reported alongside scenario verdicts.
     ``pool`` reuses an existing executor across campaigns (see
     :func:`repro.batch.scatter`).
+
+    With ``corpus_dir``, the campaign goes coverage-guided: each slot
+    is a corpus mutant with probability ``mutate_ratio`` (when the
+    store has entries to mutate) and a fresh generator scenario
+    otherwise; every clean run whose signature lights up an uncovered
+    feature is retained, and the store is minimized afterwards.
     """
     gen_config = gen_config or NetGenConfig()
     tracer = ensure(tracer)
     start = time.perf_counter()
+    store = None
+    corpus_stats = None
+    if corpus_dir is not None:
+        from repro.fuzz.corpus import (
+            CorpusStore,
+            entry_from_scenario,
+            mutate_entry,
+        )
+
+        store = CorpusStore(corpus_dir)
     with tracer.span("netfuzz", seed=seed, count=count, jobs=jobs) as sp:
         probe_failures = validation_probes()
+        rng = random.Random(f"netfuzz-corpus-{seed}")
+        tasks: list[dict] = []
+        for s in range(seed, seed + count):
+            if (
+                store is not None
+                and len(store)
+                and rng.random() < mutate_ratio
+            ):
+                entry = store.pick(rng)
+                op, trace, config = mutate_entry(rng, entry, gen_config)
+                tasks.append(
+                    {
+                        "kind": "mutant",
+                        "seed": s,
+                        "source": entry.source,
+                        "params": list(entry.params),
+                        "flows": list(entry.flows),
+                        "trace": trace_to_json(trace),
+                        "topology": config_to_dict(config),
+                        "origin": f"mutant:{op}",
+                        "parent": entry.entry_id,
+                    }
+                )
+            else:
+                tasks.append({"kind": "fresh", "seed": s})
         outcomes = scatter(
             _net_unit,
-            [
-                (s, gen_config, tracer.enabled)
-                for s in range(seed, seed + count)
-            ],
+            [(task, gen_config, tracer.enabled) for task in tasks],
             jobs,
             pool=pool,
         )
@@ -712,12 +799,40 @@ def run_net_campaign(
         for unit, spans in outcomes:
             units.append(unit)
             tracer.adopt(spans, parent="netfuzz")
+        if store is not None:
+            retained = 0
+            new_features = 0
+            for task, unit in zip(tasks, units):
+                if (
+                    not unit.ok
+                    or not unit.signature
+                    or unit.trace_rows is None
+                ):
+                    continue
+                entry = entry_from_scenario(
+                    _scenario_from_task(task, gen_config),
+                    trace_from_json(unit.trace_rows),
+                    unit.signature,
+                    origin=unit.origin,
+                    parent=unit.parent,
+                )
+                fresh_features = store.consider(entry)
+                if fresh_features:
+                    retained += 1
+                    new_features += len(fresh_features)
+            removed = store.minimize()
+            corpus_stats = dict(store.summary())
+            corpus_stats.update(
+                retained=retained,
+                new_features=new_features,
+                minimized_away=len(removed),
+            )
         artifacts = []
-        for unit in units:
+        for task, unit in zip(tasks, units):
             if unit.ok or unit.invalid is not None:
                 continue
             with tracer.span("netfuzz.shrink", seed=unit.seed):
-                scenario = gen_scenario(unit.seed, gen_config)
+                scenario = _scenario_from_task(task, gen_config)
                 report = check_scenario(scenario)
                 minimized_source = None
                 minimized_trace = None
@@ -761,6 +876,7 @@ def run_net_campaign(
         jobs=jobs,
         artifacts=artifacts,
         probe_failures=probe_failures,
+        corpus=corpus_stats,
     )
 
 
@@ -801,12 +917,33 @@ def netfuzz_main(argv: list | None = None) -> int:
         action="store_true",
         help="skip minimization of findings (faster triage-later mode)",
     )
+    parser.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent coverage-guided corpus directory; retained "
+        "scenarios seed mutants in this and later campaigns",
+    )
+    parser.add_argument(
+        "--mutate-ratio",
+        type=float,
+        default=0.5,
+        metavar="R",
+        help="fraction of scenario slots fed from corpus mutants when "
+        "the corpus is non-empty (default %(default)s)",
+    )
     parser.add_argument("--trace", action="store_true")
     parser.add_argument("--trace-json", metavar="FILE")
     args = parser.parse_args(argv)
 
     if args.max_packets < 2:
         print("novac fuzz --net: --max-packets must be >= 2", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.mutate_ratio <= 1.0:
+        print(
+            "novac fuzz --net: --mutate-ratio must be in [0, 1]",
+            file=sys.stderr,
+        )
         return 2
     gen_config = NetGenConfig(
         min_packets=min(8, args.max_packets),
@@ -823,6 +960,8 @@ def netfuzz_main(argv: list | None = None) -> int:
         artifact_dir=args.artifact_dir,
         tracer=tracer,
         shrink_findings=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        mutate_ratio=args.mutate_ratio,
     )
 
     for failure in result.probe_failures:
@@ -836,6 +975,15 @@ def netfuzz_main(argv: list | None = None) -> int:
                 print(f"  {violation}")
     for artifact in result.artifacts:
         print(f"witness artifact: {artifact.directory}")
+    if result.corpus is not None:
+        corpus = result.corpus
+        print(
+            f"corpus: {corpus['entries']} entries covering "
+            f"{corpus['covered_features']} features "
+            f"(+{corpus['retained']} retained, "
+            f"{corpus['minimized_away']} minimized away) in "
+            f"{corpus['directory']}"
+        )
     summary = result.summary()
     print(
         f"netfuzz: {summary['ok']}/{summary['scenarios']} ok, "

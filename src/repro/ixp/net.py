@@ -358,6 +358,104 @@ def capture_trace(result: StreamResult) -> tuple[TraceEvent, ...]:
     return tuple(events)
 
 
+def coverage_signature(result: StreamResult) -> tuple[str, ...]:
+    """Stable coverage features of one streaming run.
+
+    The net fuzzer's corpus layer (:mod:`repro.fuzz.corpus`) retains a
+    scenario iff its run lights up a counter bucket no stored entry
+    reached; this function defines those buckets from the runtime's own
+    accounting, so "interesting" means *the queues behaved differently*,
+    not merely "the trace differs":
+
+    - the topology itself (engine/thread counts, ring capacities, steer
+      mode) — a trace replayed on a new topology is new coverage;
+    - per-ring RX high-water marks, tail drops and steered counts in
+      :func:`repro.trace.log2_bound` buckets;
+    - the shared TX ring's high water, total backpressure stalls
+      (workers finding the TX ring full) and total drops;
+    - the latency-histogram *shape*: each occupied log2 latency bucket
+      paired with the log2 bucket of its packet count;
+    - truncation / in-flight leftovers (``max_cycles`` runs).
+
+    The result is a sorted tuple of short feature strings — identical
+    seeded runs produce identical signatures, and the tuple is stable
+    across sessions so stored corpora stay comparable.  Tests pin the
+    exact format (:mod:`tests.test_corpus`); change it only with a
+    migration story for on-disk corpora.
+    """
+    config = result.config
+    features = {
+        f"topo:e{config.engines}xt{config.threads}"
+        f":rx{config.rx_capacity}:tx{config.tx_capacity}"
+        f":{config.steer}:d{config.dispatch_cycles}",
+    }
+    for engine in range(config.engines):
+        if engine < len(result.rx_high_waters) and result.rx_high_waters[engine]:
+            features.add(
+                f"rx{engine}.hwm<={log2_bound(result.rx_high_waters[engine])}"
+            )
+        if engine < len(result.rx_drops) and result.rx_drops[engine]:
+            features.add(
+                f"rx{engine}.drops<={log2_bound(result.rx_drops[engine])}"
+            )
+        if engine < len(result.steered) and result.steered[engine]:
+            features.add(
+                f"rx{engine}.steered<={log2_bound(result.steered[engine])}"
+            )
+    if result.tx_high_water:
+        features.add(f"tx.hwm<={log2_bound(result.tx_high_water)}")
+    stalls = sum(p.tx_stalls for p in result.packets)
+    if stalls:
+        features.add(f"tx.stalls<={log2_bound(stalls)}")
+    if result.dropped:
+        features.add(f"dropped<={log2_bound(result.dropped)}")
+    for bound, count in result.latency_histogram().items():
+        features.add(f"lat<={bound}x{log2_bound(count)}")
+    if result.truncated:
+        features.add("truncated")
+    if result.inflight:
+        features.add(f"inflight<={log2_bound(result.inflight)}")
+    return tuple(sorted(features))
+
+
+def trace_to_json(trace: tuple[TraceEvent, ...]) -> list:
+    """A trace as plain JSON rows ``[gap, flow, payload, bytes]``."""
+    return [
+        [event.gap, event.flow, list(event.payload), event.payload_bytes]
+        for event in trace
+    ]
+
+
+def trace_from_json(rows: list) -> tuple[TraceEvent, ...]:
+    """Inverse of :func:`trace_to_json`."""
+    return tuple(
+        TraceEvent(
+            gap=gap,
+            flow=flow,
+            payload=tuple(payload),
+            payload_bytes=payload_bytes,
+        )
+        for gap, flow, payload, payload_bytes in rows
+    )
+
+
+def config_to_dict(config: NetConfig) -> dict:
+    """A :class:`NetConfig` as a plain JSON topology dict (no trace).
+
+    The traffic trace is serialized separately (:func:`trace_to_json`)
+    — witness artifacts and corpus entries store topology and traffic
+    as distinct, independently swappable axes.
+    """
+    from dataclasses import asdict
+
+    return {k: v for k, v in asdict(config).items() if k != "trace"}
+
+
+def config_from_dict(data: dict) -> NetConfig:
+    """Inverse of :func:`config_to_dict`; unknown keys are rejected."""
+    return NetConfig(**{k: v for k, v in data.items() if k != "trace"})
+
+
 def memory_digest(memory: MemorySystem) -> str:
     """Stable short digest of every non-zero word in every space."""
     sha = hashlib.sha256()

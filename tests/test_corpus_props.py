@@ -1,0 +1,120 @@
+"""Property-based tests for the corpus mutation engine.
+
+The corpus is only useful if mutants stay *replayable*: a mutation
+that produced a gap of -1, a payload word outside 32 bits or a flow
+outside the entry's pool would be rejected by ``NetConfig.trace``
+validation (or worse, crash the runtime mid-campaign) and the slot
+would be wasted.  So validity-preservation gets properties, not
+examples: arbitrary *chains* of trace mutations over arbitrary seeds
+must keep :func:`repro.fuzz.corpus.trace_problems` empty, and a
+mutated trace must always replay through the real runtime without
+raising.  Uses hypothesis, like ``tests/test_memory_props.py``; the
+scenario and app are built once per module so each property example
+costs one (small) stream replay at most.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.corpus import (
+    TRACE_MUTATIONS,
+    mutate_entry,
+    mutate_topology,
+    mutate_trace,
+    trace_problems,
+)
+from repro.fuzz.netgen import (
+    build_scenario_app,
+    check_scenario,
+    gen_scenario,
+)
+from repro.fuzz.corpus import entry_from_scenario
+from repro.ixp.net import NetRuntime, run_stream
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """One captured scenario (seed 1), its app and a corpus entry."""
+    scenario = gen_scenario(1)
+    app = build_scenario_app(scenario)
+    report = check_scenario(scenario, app=app)
+    assert report.ok and report.trace
+    trace = report.trace[:10]  # keep every replay example small
+    entry = entry_from_scenario(scenario, trace, report.signature)
+    return scenario, app, entry
+
+
+ops = st.lists(
+    st.sampled_from(TRACE_MUTATIONS), min_size=1, max_size=6
+)
+
+
+@given(ops=ops, seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=60, deadline=None)
+def test_mutation_chains_preserve_trace_validity(recorded, ops, seed):
+    """Any chain of trace mutations keeps the trace valid: non-empty,
+    non-negative integer gaps, 32-bit payload words, flows inside the
+    entry's pool — the exact contract ``NetConfig.trace`` validation
+    enforces."""
+    _scenario, _app, entry = recorded
+    rng = random.Random(seed)
+    trace = entry.trace
+    assert trace_problems(trace, entry.flows) == []
+    for op in ops:
+        trace = mutate_trace(rng, op, trace, entry.flows)
+        assert trace_problems(trace, entry.flows) == []
+    assert all(event.payload_bytes == 4 * len(event.payload)
+               for event in trace)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=25, deadline=None)
+def test_mutated_entries_replay_without_crashing(recorded, seed):
+    """mutate -> replay never raises: whatever ``mutate_entry`` draws
+    (trace op or topology swap), the runtime accepts the config and
+    streams it to completion with packets conserved."""
+    scenario, app, entry = recorded
+    rng = random.Random(seed)
+    _op, trace, config = mutate_entry(rng, entry)
+    assert trace_problems(trace, entry.flows) == []
+    NetRuntime(app, replace(config, trace=trace))  # validation accepts
+    result = run_stream(app, replace(config, trace=trace))
+    assert result.generated == len(trace)
+    assert (
+        result.completed + result.dropped + result.inflight
+        == result.generated
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=40, deadline=None)
+def test_topology_swaps_are_always_accepted(recorded, seed):
+    """Every swapped topology comes from the generator's own choice
+    space, so ``NetRuntime`` validation must accept it as-is."""
+    scenario, app, entry = recorded
+    rng = random.Random(seed)
+    swapped = mutate_topology(rng, entry.config())
+    NetRuntime(app, replace(swapped, trace=entry.trace))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=60, deadline=None)
+def test_mutations_never_invent_flows_or_payload_words(recorded, seed):
+    """Stronger than pool membership: mutated events are *rearranged
+    or retokened copies* — every (flow, payload-tail) pair already
+    existed in the base trace or is a retoken of one, so replay
+    expectations stay derivable from the entry's program alone."""
+    _scenario, _app, entry = recorded
+    rng = random.Random(seed)
+    base_tails = {event.payload[1:] for event in entry.trace}
+    op = rng.choice(TRACE_MUTATIONS)
+    trace = mutate_trace(rng, op, entry.trace, entry.flows)
+    for event in trace:
+        assert event.payload[1:] in base_tails
+        assert event.flow in set(entry.flows)
+        assert event.payload[0] == event.flow & 0xFFFFFFFF

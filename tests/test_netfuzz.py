@@ -146,3 +146,55 @@ def test_cli_net_fuzz_rejects_bad_packet_budget(capsys):
     code = main(["fuzz", "--net", "--max-packets", "1"])
     assert code == 2
     assert "max-packets" in capsys.readouterr().err
+
+
+def test_cli_net_fuzz_corpus_flags(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    code = main(
+        [
+            "fuzz",
+            "--net",
+            "--seed",
+            "0",
+            "--count",
+            "3",
+            "--artifact-dir",
+            str(tmp_path / "art"),
+            "--corpus-dir",
+            str(corpus),
+            "--mutate-ratio",
+            "0.5",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "corpus:" in out and "retained" in out
+    assert list(corpus.glob("entry-*.json"))
+
+
+def test_cli_net_fuzz_rejects_bad_mutate_ratio(capsys):
+    code = main(["fuzz", "--net", "--mutate-ratio", "1.5"])
+    assert code == 2
+    assert "mutate-ratio" in capsys.readouterr().err
+
+
+def test_corpus_probe_beats_fresh_sampling(tmp_path):
+    """Acceptance: seeded with a near-miss entry, the real mutation
+    engine exposes ``broken_steering`` within the budget and ddmin
+    shrinks the winning mutant to <= 10 events, while fresh generator
+    sampling over the pinned window finds nothing at the same budget."""
+    from repro.fuzz.corpus import CorpusStore
+    from repro.fuzz.inject import corpus_probe
+
+    outcome = corpus_probe(corpus_dir=str(tmp_path))
+    assert outcome["corpus_found_in"] is not None
+    assert outcome["corpus_found_in"] <= 12
+    assert outcome["fresh_found_in"] is None
+    assert outcome["witness_events"] <= 10
+    assert len(outcome["witness"]) == outcome["witness_events"]
+    # the near-miss went through a real store and is itself replayable
+    store = CorpusStore(tmp_path)
+    assert len(store) == 1
+    (entry,) = store.entries.values()
+    assert entry.origin == "probe"
+    assert store.verify() == []
